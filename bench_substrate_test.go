@@ -1,0 +1,192 @@
+// Substrate and extension benchmarks: the kernels underneath the paper's
+// experiments (SpMV, SpGEMM, coloring, the aggregation schemes) and the
+// extension features (partitioning, MIS-based distance-2 coloring,
+// ECL-MIS).
+package mis2go
+
+import (
+	"fmt"
+	"testing"
+
+	"mis2go/internal/coarsen"
+	"mis2go/internal/color"
+	"mis2go/internal/gen"
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/mis"
+	"mis2go/internal/par"
+	"mis2go/internal/partition"
+	"mis2go/internal/sparse"
+)
+
+func BenchmarkSpMV(b *testing.B) {
+	g := gen.Laplace3D(40, 40, 40)
+	a := gen.Laplacian(g, 0.1)
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	for _, th := range []int{1, 8} {
+		rt := par.New(th)
+		b.Run(fmt.Sprintf("threads-%d", th), func(b *testing.B) {
+			b.SetBytes(int64(12 * a.NNZ()))
+			for i := 0; i < b.N; i++ {
+				a.SpMV(rt, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkSpGEMMGalerkin(b *testing.B) {
+	// The RAP triple product dominating AMG setup.
+	g := gen.Laplace3D(20, 20, 20)
+	a := gen.Laplacian(g, 0.1)
+	agg := coarsen.MIS2Aggregation(g, coarsen.Options{})
+	p := coarsen.Prolongator(agg)
+	r := p.Transpose()
+	rt := par.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.RAP(rt, r, a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColoring(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	b.Run("greedy-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			color.Greedy(g)
+		}
+	})
+	b.Run("jones-plassmann", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			color.Parallel(g, 0)
+		}
+	})
+	b.Run("d2-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			color.GreedyDistance2(g)
+		}
+	})
+	b.Run("d2-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			color.ParallelDistance2(g, 0)
+		}
+	})
+	b.Run("d2-via-mis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			color.Distance2ViaMIS2(g, 0)
+		}
+	})
+}
+
+func BenchmarkAggregationSchemes(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	schemes := []struct {
+		name string
+		run  func() coarsen.Aggregation
+	}{
+		{name: "serial-greedy", run: func() coarsen.Aggregation { return coarsen.SerialGreedy(g) }},
+		{name: "serial-d2c", run: func() coarsen.Aggregation { return coarsen.D2C(g, 0, false) }},
+		{name: "nb-d2c", run: func() coarsen.Aggregation { return coarsen.D2C(g, 0, true) }},
+		{name: "mis2-basic", run: func() coarsen.Aggregation { return coarsen.Basic(g, coarsen.Options{}) }},
+		{name: "mis2-agg", run: func() coarsen.Aggregation { return coarsen.MIS2Aggregation(g, coarsen.Options{}) }},
+	}
+	for _, s := range schemes {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.run()
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionCoarsening(b *testing.B) {
+	g := gen.Laplace3D(16, 16, 16)
+	for _, pol := range []partition.Policy{partition.MIS2Policy, partition.HEMPolicy} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				res, err := partition.Partition(g, partition.Options{Policy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut
+			}
+			b.ReportMetric(float64(cut), "edge-cut")
+		})
+	}
+}
+
+func BenchmarkECLvsLubyMIS1(b *testing.B) {
+	g := gen.RandomFEM(20, 20, 20, 18, 9)
+	b.Run("ecl", func(b *testing.B) {
+		var size int
+		for i := 0; i < b.N; i++ {
+			size = len(mis.ECLMIS1(g, 0).InSet)
+		}
+		b.ReportMetric(float64(size), "set-size")
+	})
+	b.Run("luby", func(b *testing.B) {
+		var size int
+		for i := 0; i < b.N; i++ {
+			size = len(mis.LubyMIS1(g, hash.XorStar, 0).InSet)
+		}
+		b.ReportMetric(float64(size), "set-size")
+	})
+}
+
+func BenchmarkGraphSquare(b *testing.B) {
+	for _, side := range []int{10, 16} {
+		g := gen.Laplace3D(side, side, side)
+		b.Run(fmt.Sprintf("laplace-%d", side), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Square()
+			}
+		})
+	}
+}
+
+func BenchmarkInducedSubgraph(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	keep := make([]bool, g.N)
+	for i := range keep {
+		keep[i] = i%3 != 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InducedSubgraph(keep)
+	}
+}
+
+func BenchmarkCSRConstruction(b *testing.B) {
+	// FromEdges on a mesh-sized edge list (graph-build cost in every
+	// experiment's setup).
+	side := 30
+	var edges []graph.Edge
+	idx := func(x, y, z int) int32 { return int32((z*side+y)*side + x) }
+	for z := 0; z < side; z++ {
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				if x+1 < side {
+					edges = append(edges, graph.Edge{U: idx(x, y, z), V: idx(x+1, y, z)})
+				}
+				if y+1 < side {
+					edges = append(edges, graph.Edge{U: idx(x, y, z), V: idx(x, y+1, z)})
+				}
+				if z+1 < side {
+					edges = append(edges, graph.Edge{U: idx(x, y, z), V: idx(x, y, z+1)})
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.FromEdges(side*side*side, edges)
+	}
+}

@@ -1,0 +1,58 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§VI). Each subcommand prints one table/figure;
+// "all" prints everything.
+//
+// Usage:
+//
+//	experiments [-scale f] [-trials n] [-threads n] <table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|fig6|fig7|quality|all>
+//
+// -scale multiplies the paper's matrix sizes: 1.0 reproduces paper-scale
+// problems (memory- and time-hungry); the default 0.05 runs the full
+// sweep on a laptop in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mis2go/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "matrix size as a fraction of paper scale (1.0 = paper)")
+	trials := flag.Int("trials", 3, "timing trials to average (paper uses 100)")
+	threads := flag.Int("threads", 0, "worker count (0 = all cores)")
+	flag.Parse()
+
+	cfg := bench.Config{Out: os.Stdout, Scale: *scale, Trials: *trials, Threads: *threads}
+	runners := map[string]func(bench.Config){
+		"fig1":   bench.Fig1,
+		"table1": bench.Table1, "table2": bench.Table2, "table3": bench.Table3,
+		"table4": bench.Table4, "table5": bench.Table5, "table6": bench.Table6,
+		"fig2": bench.Fig2, "fig3": bench.Fig3, "fig4": bench.Fig4,
+		"fig5": bench.Fig5, "fig6": bench.Fig6, "fig7": bench.Fig7,
+		"quality": bench.QualitySummary, "scaling": bench.BigScaling, "smoothers": bench.Smoothers, "partition": bench.PartitionComparison,
+	}
+	order := []string{"fig1", "table1", "table2", "table3", "table4", "table5", "table6",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "quality", "scaling", "smoothers", "partition"}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <experiment...|all>")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", order)
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %v\n", name, order)
+			os.Exit(2)
+		}
+		run(cfg)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,448 @@
+// Package amg implements smoothed-aggregation algebraic multigrid
+// (SA-AMG), the solver substrate of the paper's Table V experiment: a
+// hierarchy built by repeatedly aggregating the matrix graph (with a
+// pluggable aggregation scheme such as Algorithm 3), forming the smoothed
+// prolongator P = (I - omega D^{-1} A) P0, and the Galerkin coarse
+// operator R A P, solved by damped-Jacobi-smoothed V-cycles with a dense
+// LU factorization on the coarsest level.
+package amg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mis2go/internal/coarsen"
+	"mis2go/internal/graph"
+	"mis2go/internal/gs"
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+// AggregateFunc produces an aggregation of the given matrix graph.
+type AggregateFunc func(g *graph.CSR) coarsen.Aggregation
+
+// Smoother selects the level relaxation method.
+type Smoother int
+
+const (
+	// SmootherJacobi is damped Jacobi, the paper's Table V setup.
+	SmootherJacobi Smoother = iota
+	// SmootherChebyshev is a Chebyshev polynomial smoother (the common
+	// MueLu alternative; an extension beyond the paper's configuration).
+	SmootherChebyshev
+	// SmootherPointSGS relaxes with point multicolor symmetric
+	// Gauss-Seidel (§III-C), set up per level during Build.
+	SmootherPointSGS
+	// SmootherClusterSGS relaxes with cluster multicolor symmetric
+	// Gauss-Seidel (Algorithm 4), clusters from each level's aggregation.
+	SmootherClusterSGS
+)
+
+// Options configures hierarchy construction. Zero values select the
+// defaults noted on each field.
+type Options struct {
+	// Aggregate selects the aggregation scheme; default is Algorithm 3
+	// (coarsen.MIS2Aggregation).
+	Aggregate AggregateFunc
+	// MaxLevels caps the hierarchy depth (default 10).
+	MaxLevels int
+	// MinCoarseSize stops coarsening once a level is this small
+	// (default 200); that level is solved directly.
+	MinCoarseSize int
+	// UnsmoothedProlongator disables prolongator smoothing (plain
+	// aggregation AMG instead of SA-AMG).
+	UnsmoothedProlongator bool
+	// JacobiDamping is the damping factor for the level smoother
+	// (default 2/3).
+	JacobiDamping float64
+	// PreSweeps and PostSweeps are the smoothing sweep counts per
+	// V-cycle (default 2 and 2: "2 sweeps of the Jacobi method" as in
+	// Table V's setup).
+	PreSweeps, PostSweeps int
+	// Smoother selects the relaxation method (default SmootherJacobi).
+	Smoother Smoother
+	// ChebyshevDegree is the polynomial degree when Smoother is
+	// SmootherChebyshev (default 2). PreSweeps/PostSweeps then count
+	// polynomial applications.
+	ChebyshevDegree int
+	// ChebyshevRatio is the eigenvalue interval ratio
+	// lambda_max / lambda_min targeted by the polynomial (default 20, as
+	// in MueLu).
+	ChebyshevRatio float64
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Aggregate == nil {
+		threads := o.Threads
+		o.Aggregate = func(g *graph.CSR) coarsen.Aggregation {
+			return coarsen.MIS2Aggregation(g, coarsen.Options{Threads: threads})
+		}
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 10
+	}
+	if o.MinCoarseSize <= 0 {
+		o.MinCoarseSize = 200
+	}
+	if o.JacobiDamping == 0 {
+		o.JacobiDamping = 2.0 / 3.0
+	}
+	if o.PreSweeps == 0 {
+		o.PreSweeps = 2
+	}
+	if o.PostSweeps == 0 {
+		o.PostSweeps = 2
+	}
+	if o.ChebyshevDegree <= 0 {
+		o.ChebyshevDegree = 2
+	}
+	if o.ChebyshevRatio <= 1 {
+		o.ChebyshevRatio = 20
+	}
+	return o
+}
+
+// Level is one rung of the hierarchy.
+type Level struct {
+	A    *sparse.Matrix
+	P    *sparse.Matrix // prolongator to this level from the next coarser (nil on coarsest)
+	R    *sparse.Matrix // restriction (P^T)
+	Agg  coarsen.Aggregation
+	dinv []float64
+	// rho is the estimated spectral radius of D^{-1}A on this level,
+	// used by prolongator smoothing and the Chebyshev smoother.
+	rho float64
+	// gsOp is the multicolor Gauss-Seidel operator when an SGS smoother
+	// is selected (nil otherwise).
+	gsOp *gs.Multicolor
+	// Scratch vectors sized to this level.
+	x, b, r, d []float64
+}
+
+// Hierarchy is a built SA-AMG preconditioner. It implements
+// krylov.Preconditioner via Precondition (one V-cycle, zero initial
+// guess). Not safe for concurrent use.
+type Hierarchy struct {
+	Levels []*Level
+	coarse *sparse.Dense
+	opt    Options
+	rt     *par.Runtime
+}
+
+// Build constructs the hierarchy for SPD matrix a.
+func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
+	opt = opt.withDefaults()
+	if a.Rows != a.Cols {
+		return nil, errors.New("amg: matrix must be square")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("amg: invalid matrix: %w", err)
+	}
+	rt := par.New(opt.Threads)
+	h := &Hierarchy{opt: opt, rt: rt}
+
+	cur := a
+	for level := 0; ; level++ {
+		l := &Level{A: cur}
+		l.dinv = make([]float64, cur.Rows)
+		for i, d := range cur.Diagonal() {
+			if d == 0 {
+				return nil, fmt.Errorf("amg: zero diagonal at row %d of level %d", i, level)
+			}
+			l.dinv[i] = 1 / d
+		}
+		l.x = make([]float64, cur.Rows)
+		l.b = make([]float64, cur.Rows)
+		l.r = make([]float64, cur.Rows)
+		l.d = make([]float64, cur.Rows)
+		l.rho = estimateSpectralRadius(rt, cur, l.dinv, 15)
+		switch opt.Smoother {
+		case SmootherPointSGS:
+			op, err := gs.NewPoint(cur, opt.Threads)
+			if err != nil {
+				return nil, fmt.Errorf("amg: level %d point SGS setup: %w", level, err)
+			}
+			l.gsOp = op
+		case SmootherClusterSGS:
+			agg := coarsen.MIS2Aggregation(cur.Graph(), coarsen.Options{Threads: opt.Threads})
+			op, err := gs.NewCluster(cur, agg, opt.Threads)
+			if err != nil {
+				return nil, fmt.Errorf("amg: level %d cluster SGS setup: %w", level, err)
+			}
+			l.gsOp = op
+		}
+		h.Levels = append(h.Levels, l)
+
+		if cur.Rows <= opt.MinCoarseSize || level+1 >= opt.MaxLevels {
+			break
+		}
+
+		g := cur.Graph()
+		agg := opt.Aggregate(g)
+		if err := coarsen.Check(g, agg); err != nil {
+			return nil, fmt.Errorf("amg: level %d aggregation: %w", level, err)
+		}
+		if agg.NumAggregates >= cur.Rows {
+			break // no coarsening progress; stop here
+		}
+		l.Agg = agg
+
+		p := coarsen.Prolongator(agg)
+		if !opt.UnsmoothedProlongator {
+			var err error
+			p, err = smoothProlongator(rt, cur, l.dinv, l.rho, p)
+			if err != nil {
+				return nil, fmt.Errorf("amg: level %d prolongator smoothing: %w", level, err)
+			}
+		}
+		r := p.Transpose()
+		ac, err := sparse.RAP(rt, r, cur, p)
+		if err != nil {
+			return nil, fmt.Errorf("amg: level %d Galerkin product: %w", level, err)
+		}
+		l.P, l.R = p, r
+		cur = ac
+	}
+
+	// Factor the coarsest level densely.
+	last := h.Levels[len(h.Levels)-1]
+	dense, err := last.A.ToDense()
+	if err != nil {
+		return nil, err
+	}
+	if err := dense.Factorize(); err != nil {
+		return nil, fmt.Errorf("amg: coarse factorization: %w", err)
+	}
+	h.coarse = dense
+	return h, nil
+}
+
+// smoothProlongator computes P = (I - omega D^{-1} A) P0 with
+// omega = (4/3) / rho(D^{-1} A), rho estimated by power iteration.
+func smoothProlongator(rt *par.Runtime, a *sparse.Matrix, dinv []float64, rho float64, p0 *sparse.Matrix) (*sparse.Matrix, error) {
+	if rho <= 0 {
+		return p0, nil
+	}
+	omega := (4.0 / 3.0) / rho
+	// S = D^{-1} A, row-scaled copy.
+	s := a.Clone()
+	for i := 0; i < s.Rows; i++ {
+		di := dinv[i]
+		for q := s.RowPtr[i]; q < s.RowPtr[i+1]; q++ {
+			s.Val[q] *= di
+		}
+	}
+	sp, err := sparse.Multiply(rt, s, p0)
+	if err != nil {
+		return nil, err
+	}
+	return sparse.Add(p0, sp, -omega)
+}
+
+// estimateSpectralRadius runs a deterministic power iteration on D^{-1}A.
+func estimateSpectralRadius(rt *par.Runtime, a *sparse.Matrix, dinv []float64, iters int) float64 {
+	n := a.Rows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		// Deterministic pseudo-random start vector.
+		x[i] = 0.5 + float64((i*2654435761)%1024)/2048.0
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		a.SpMV(rt, x, y)
+		norm := 0.0
+		for i := range y {
+			y[i] *= dinv[i]
+			if v := y[i]; v > norm {
+				norm = v
+			} else if -v > norm {
+				norm = -v
+			}
+		}
+		if norm == 0 {
+			return 0
+		}
+		lambda = norm
+		inv := 1 / norm
+		for i := range y {
+			x[i] = y[i] * inv
+		}
+	}
+	return lambda
+}
+
+// NumLevels returns the hierarchy depth.
+func (h *Hierarchy) NumLevels() int { return len(h.Levels) }
+
+// OperatorComplexity is the sum of nnz over all level operators divided by
+// nnz of the fine operator — the standard AMG grid quality metric.
+func (h *Hierarchy) OperatorComplexity() float64 {
+	total := 0
+	for _, l := range h.Levels {
+		total += l.A.NNZ()
+	}
+	return float64(total) / float64(h.Levels[0].A.NNZ())
+}
+
+// Precondition applies one V-cycle with zero initial guess: z ≈ A^{-1} r.
+func (h *Hierarchy) Precondition(r, z []float64) {
+	for i := range z {
+		z[i] = 0
+	}
+	copy(h.Levels[0].b, r)
+	h.vcycle(0)
+	copy(z, h.Levels[0].x)
+}
+
+// Solve runs stationary V-cycle iterations until the residual drops below
+// tol*||b|| or maxIter cycles; mainly for tests and examples (use CG with
+// Precondition for production solves).
+func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float64) {
+	n := h.Levels[0].A.Rows
+	r := make([]float64, n)
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for it := 0; it < maxIter; it++ {
+		h.Levels[0].A.SpMV(h.rt, x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		rel := norm2(r) / bnorm
+		if rel < tol {
+			return it, rel
+		}
+		copy(h.Levels[0].b, r)
+		h.vcycle(0)
+		for i := range x {
+			x[i] += h.Levels[0].x[i]
+		}
+	}
+	h.Levels[0].A.SpMV(h.rt, x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return maxIter, norm2(r) / bnorm
+}
+
+// vcycle runs one V-cycle on level l using l.b as right-hand side,
+// leaving the correction in l.x.
+func (h *Hierarchy) vcycle(level int) {
+	l := h.Levels[level]
+	n := l.A.Rows
+	if level == len(h.Levels)-1 {
+		h.coarse.Solve(l.b, l.x)
+		return
+	}
+	for i := range l.x {
+		l.x[i] = 0
+	}
+	h.smooth(l, h.opt.PreSweeps)
+	// Residual and restriction.
+	l.A.SpMV(h.rt, l.x, l.r)
+	h.rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l.r[i] = l.b[i] - l.r[i]
+		}
+	})
+	next := h.Levels[level+1]
+	l.R.SpMV(h.rt, l.r, next.b)
+	h.vcycle(level + 1)
+	// Prolongate and correct.
+	l.P.SpMV(h.rt, next.x, l.r)
+	h.rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l.x[i] += l.r[i]
+		}
+	})
+	h.smooth(l, h.opt.PostSweeps)
+}
+
+// smooth dispatches to the configured relaxation method.
+func (h *Hierarchy) smooth(l *Level, sweeps int) {
+	switch h.opt.Smoother {
+	case SmootherChebyshev:
+		for s := 0; s < sweeps; s++ {
+			h.chebyshev(l)
+		}
+	case SmootherPointSGS, SmootherClusterSGS:
+		l.gsOp.Apply(l.b, l.x, sweeps, true)
+	default:
+		h.jacobi(l, sweeps)
+	}
+}
+
+// chebyshev applies one Chebyshev polynomial of the configured degree to
+// l.A x = l.b, updating l.x in place. The polynomial targets the interval
+// [rho/ratio, 1.1*rho] of D^{-1}A eigenvalues, as in MueLu/Ifpack2.
+func (h *Hierarchy) chebyshev(l *Level) {
+	n := l.A.Rows
+	rt := h.rt
+	lmax := 1.1 * l.rho
+	lmin := l.rho / h.opt.ChebyshevRatio
+	theta := (lmax + lmin) / 2
+	delta := (lmax - lmin) / 2
+	sigma := theta / delta
+	rhoOld := 1 / sigma
+
+	// r = b - A x ; d = Dinv r / theta
+	l.A.SpMV(rt, l.x, l.r)
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l.r[i] = l.b[i] - l.r[i]
+			l.d[i] = l.dinv[i] * l.r[i] / theta
+		}
+	})
+	for k := 1; k < h.opt.ChebyshevDegree; k++ {
+		rt.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				l.x[i] += l.d[i]
+			}
+		})
+		// Recompute the residual against the updated iterate (one extra
+		// SpMV per degree, robust against drift).
+		l.A.SpMV(rt, l.x, l.r)
+		rhoNew := 1 / (2*sigma - rhoOld)
+		coef1 := rhoNew * rhoOld
+		coef2 := 2 * rhoNew / delta
+		rt.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := l.b[i] - l.r[i]
+				l.d[i] = coef1*l.d[i] + coef2*l.dinv[i]*r
+			}
+		})
+		rhoOld = rhoNew
+	}
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l.x[i] += l.d[i]
+		}
+	})
+}
+
+// jacobi runs damped Jacobi sweeps on l.A x = l.b, updating l.x in place.
+func (h *Hierarchy) jacobi(l *Level, sweeps int) {
+	n := l.A.Rows
+	omega := h.opt.JacobiDamping
+	for s := 0; s < sweeps; s++ {
+		l.A.SpMV(h.rt, l.x, l.r)
+		h.rt.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				l.x[i] += omega * l.dinv[i] * (l.b[i] - l.r[i])
+			}
+		})
+	}
+}
+
+func norm2(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,292 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation (§VI), each printing rows in the
+// paper's format. The cmd/experiments binary and the root bench_test.go
+// drive these runners.
+//
+// Architecture substitution: the paper measures four platforms (V100,
+// MI100, Skylake, ThunderX2). This repository has one CPU; platform
+// columns are replaced by worker-count configurations of the goroutine
+// runtime, which exercise the identical parallel structure (see
+// DESIGN.md). Relative comparisons between algorithms — the content of
+// every table — are preserved.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/matrices"
+	"mis2go/internal/mis"
+)
+
+// Config holds shared experiment parameters.
+type Config struct {
+	// Out receives the formatted table.
+	Out io.Writer
+	// Scale multiplies the paper's matrix sizes (1.0 = paper scale).
+	Scale float64
+	// Trials is the number of timing repetitions averaged (paper: 100).
+	Trials int
+	// Threads is the default worker count (0 = GOMAXPROCS).
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.02
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	return c
+}
+
+// timeMean runs f once to warm up, then trials times, returning the mean.
+func timeMean(trials int, f func()) time.Duration {
+	f()
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		f()
+	}
+	return time.Duration(int64(time.Since(start)) / int64(trials))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// geomean returns the geometric mean of positive values.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// threadConfigs returns the worker-count ladder used as the platform
+// substitute: 1, 2, 4, ... up to GOMAXPROCS.
+func threadConfigs() []int {
+	maxT := runtime.GOMAXPROCS(0)
+	var cfg []int
+	for t := 1; t < maxT; t *= 2 {
+		cfg = append(cfg, t)
+	}
+	return append(cfg, maxT)
+}
+
+// suiteGraphs materializes the 17-matrix suite at the configured scale.
+func suiteGraphs(scale float64) []struct {
+	Spec matrices.Spec
+	G    *graph.CSR
+} {
+	specs := matrices.Suite()
+	out := make([]struct {
+		Spec matrices.Spec
+		G    *graph.CSR
+	}, len(specs))
+	for i, s := range specs {
+		out[i].Spec = s
+		out[i].G = s.Build(scale)
+	}
+	return out
+}
+
+// Table1 reproduces Table I: MIS-2 iteration counts for the three random
+// priority methods (Fixed as in Bell et al., plain xorshift, xorshift*).
+func Table1(cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "Table I: MIS-2 iteration counts for three priority methods (scale=%.3g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s %8s %8s %9s\n", "matrix", "Fixed", "Xor", "Xor*")
+	for _, m := range suiteGraphs(cfg.Scale) {
+		fixed := mis.MIS2(m.G, mis.Options{Hash: hash.Fixed, Threads: cfg.Threads}).Iterations
+		xor := mis.MIS2(m.G, mis.Options{Hash: hash.Xor, Threads: cfg.Threads}).Iterations
+		star := mis.MIS2(m.G, mis.Options{Hash: hash.XorStar, Threads: cfg.Threads}).Iterations
+		fmt.Fprintf(cfg.Out, "%-18s %8d %8d %9d\n", m.Spec.Name, fixed, xor, star)
+	}
+}
+
+// Table2 reproduces Table II: suite statistics and mean MIS-2 times. The
+// paper's four architectures become four worker-count configurations.
+func Table2(cfg Config) {
+	cfg = cfg.withDefaults()
+	maxT := runtime.GOMAXPROCS(0)
+	platforms := []int{1, maxT / 4, maxT / 2, maxT}
+	for i, p := range platforms {
+		if p < 1 {
+			platforms[i] = 1
+		}
+	}
+	fmt.Fprintf(cfg.Out, "Table II: suite statistics and mean MIS-2 time in ms over %d trials (scale=%.3g)\n", cfg.Trials, cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s %10s %12s %8s %8s", "matrix", "|V|", "|E|", "avg deg", "max deg")
+	for _, p := range platforms {
+		fmt.Fprintf(cfg.Out, " %9s", fmt.Sprintf("%dT", p))
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, m := range suiteGraphs(cfg.Scale) {
+		fmt.Fprintf(cfg.Out, "%-18s %10d %12d %8.2f %8d",
+			m.Spec.Name, m.G.N, m.G.NumEdges()/2, m.G.AvgDegree(), m.G.MaxDegree())
+		for _, p := range platforms {
+			d := timeMean(cfg.Trials, func() { mis.MIS2(m.G, mis.Options{Threads: p}) })
+			fmt.Fprintf(cfg.Out, " %9.3f", ms(d))
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+}
+
+// Fig2 reproduces Figure 2: cumulative speedup of the four optimizations
+// over the Bell baseline, per matrix plus geometric means.
+func Fig2(cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "Figure 2: cumulative optimization speedups over Bell baseline (scale=%.3g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s", "matrix")
+	for v := mis.Variant(1); v < mis.NumVariants; v++ {
+		fmt.Fprintf(cfg.Out, " %16s", v.String())
+	}
+	fmt.Fprintln(cfg.Out)
+	speedups := make([][]float64, mis.NumVariants)
+	for _, m := range suiteGraphs(cfg.Scale) {
+		times := make([]time.Duration, mis.NumVariants)
+		for v := mis.Variant(0); v < mis.NumVariants; v++ {
+			v := v
+			times[v] = timeMean(cfg.Trials, func() { mis.MIS2Variant(m.G, v, cfg.Threads) })
+		}
+		fmt.Fprintf(cfg.Out, "%-18s", m.Spec.Name)
+		for v := mis.Variant(1); v < mis.NumVariants; v++ {
+			s := float64(times[0]) / float64(times[v])
+			speedups[v] = append(speedups[v], s)
+			fmt.Fprintf(cfg.Out, " %15.2fx", s)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintf(cfg.Out, "%-18s", "geomean")
+	for v := mis.Variant(1); v < mis.NumVariants; v++ {
+		fmt.Fprintf(cfg.Out, " %15.2fx", geomean(speedups[v]))
+	}
+	fmt.Fprintln(cfg.Out)
+}
+
+// Table3 reproduces Table III: MIS-2 size and iteration count for growing
+// structured problems (Elasticity and Laplace grids).
+func Table3(cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "Table III: MIS-2 size and iterations on structured problems (scale=%.3g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-26s %10s %10s %7s\n", "problem", "|V|", "|MIS-2|", "iters")
+	s := math.Cbrt(cfg.Scale * 50) // paper runs at scale ~1; keep dims proportional
+	dims := func(x, y, z int) (int, int, int) {
+		f := func(d int) int {
+			v := int(float64(d) * s / math.Cbrt(50))
+			if v < 4 {
+				v = 4
+			}
+			return v
+		}
+		return f(x), f(y), f(z)
+	}
+	type row struct {
+		name    string
+		x, y, z int
+		elas    bool
+	}
+	rows := []row{
+		{name: "Elasticity 30x30x30", x: 30, y: 30, z: 30, elas: true},
+		{name: "Elasticity 60x30x30", x: 60, y: 30, z: 30, elas: true},
+		{name: "Elasticity 60x60x30", x: 60, y: 60, z: 30, elas: true},
+		{name: "Elasticity 60x60x60", x: 60, y: 60, z: 60, elas: true},
+		{name: "Laplace 50x50x50", x: 50, y: 50, z: 50},
+		{name: "Laplace 100x50x50", x: 100, y: 50, z: 50},
+		{name: "Laplace 100x100x50", x: 100, y: 100, z: 50},
+		{name: "Laplace 100x100x100", x: 100, y: 100, z: 100},
+	}
+	for _, r := range rows {
+		x, y, z := dims(r.x, r.y, r.z)
+		g := buildStructured(x, y, z, r.elas)
+		res := mis.MIS2(g, mis.Options{Threads: cfg.Threads})
+		fmt.Fprintf(cfg.Out, "%-26s %10d %10d %7d\n", r.name, g.N, len(res.InSet), res.Iterations)
+	}
+}
+
+// Fig3 reproduces Figure 3: bandwidth-efficiency portability profiles.
+// Platform = worker config; efficiency = MIS-2 instances per second per
+// worker, normalized per problem to the best config.
+func Fig3(cfg Config) {
+	cfg = cfg.withDefaults()
+	configs := threadConfigs()
+	fmt.Fprintf(cfg.Out, "Figure 3: efficiency profile across worker configs (scale=%.3g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s", "matrix")
+	for _, t := range configs {
+		fmt.Fprintf(cfg.Out, " %8s", fmt.Sprintf("%dT", t))
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, m := range suiteGraphs(cfg.Scale) {
+		eff := make([]float64, len(configs))
+		best := 0.0
+		for i, t := range configs {
+			t := t
+			d := timeMean(cfg.Trials, func() { mis.MIS2(m.G, mis.Options{Threads: t}) })
+			eff[i] = 1 / (d.Seconds() * float64(t)) // instances/sec per worker
+			if eff[i] > best {
+				best = eff[i]
+			}
+		}
+		fmt.Fprintf(cfg.Out, "%-18s", m.Spec.Name)
+		for i := range configs {
+			fmt.Fprintf(cfg.Out, " %8.3f", eff[i]/best)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+}
+
+// Fig4 reproduces Figure 4 (strong scaling; the paper's Intel sweep):
+// efficiency t1/(t_k * k) per worker count, including oversubscription
+// beyond the physical core count, which mirrors the paper's hyperthread
+// falloff.
+func Fig4(cfg Config) { figScaling(cfg, "Figure 4: strong scaling efficiency (Intel sweep analogue)") }
+
+// Fig5 reproduces Figure 5 (the paper's ARM sweep; same harness, second
+// measurement pass).
+func Fig5(cfg Config) { figScaling(cfg, "Figure 5: strong scaling efficiency (ARM sweep analogue)") }
+
+func figScaling(cfg Config, title string) {
+	cfg = cfg.withDefaults()
+	maxT := runtime.GOMAXPROCS(0)
+	configs := threadConfigs()
+	configs = append(configs, 2*maxT) // oversubscription point
+	fmt.Fprintf(cfg.Out, "%s (scale=%.3g)\n", title, cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s", "matrix")
+	for _, t := range configs {
+		fmt.Fprintf(cfg.Out, " %8s", fmt.Sprintf("%dT", t))
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, m := range suiteGraphs(cfg.Scale) {
+		var t1 time.Duration
+		fmt.Fprintf(cfg.Out, "%-18s", m.Spec.Name)
+		for i, t := range configs {
+			t := t
+			d := timeMean(cfg.Trials, func() { mis.MIS2(m.G, mis.Options{Threads: t}) })
+			if i == 0 {
+				t1 = d
+			}
+			fmt.Fprintf(cfg.Out, " %8.3f", float64(t1)/(float64(d)*float64(t)))
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+}
+
+// buildStructured builds either an Elasticity (27-pt, 3 dof) or Laplace
+// (7-pt) grid graph.
+func buildStructured(x, y, z int, elasticity bool) *graph.CSR {
+	if elasticity {
+		return genElasticity(x, y, z)
+	}
+	return genLaplace(x, y, z)
+}

@@ -1,0 +1,135 @@
+// Fig1 renders the paper's Figure 1: a step-by-step trace of Algorithm 1
+// on the worked 6-vertex example, printing the row tuples T, column
+// minima M, and the decisions after every phase of every iteration.
+package bench
+
+import (
+	"fmt"
+
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/mis"
+)
+
+// Fig1 traces Algorithm 1 on the Figure 1 example graph (a tree
+// 1-2-3-4 with leaves 5 and 6 on vertex 4; 0-indexed here).
+func Fig1(cfg Config) {
+	cfg = cfg.withDefaults()
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 3, V: 5},
+	})
+	fmt.Fprintln(cfg.Out, "Figure 1: Algorithm 1 trace on the worked example graph")
+	fmt.Fprintln(cfg.Out, "edges: 0-1, 1-2, 2-3, 3-4, 3-5")
+
+	const (
+		in  uint64 = 0
+		out uint64 = ^uint64(0)
+	)
+	n := g.N
+	// Small-range priorities so the trace reads like the paper's figure.
+	prio := func(iter, v int) uint64 {
+		return hash.XorStar.Priority(uint64(iter), uint64(v)) % 90
+	}
+	pack := func(p uint64, v int) uint64 { return p*8 + uint64(v) + 1 }
+	show := func(t uint64) string {
+		switch t {
+		case in:
+			return "IN"
+		case out:
+			return "OUT"
+		default:
+			return fmt.Sprintf("(%d,%d)", t/8, t%8-1)
+		}
+	}
+
+	t := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		t[v] = pack(0, v) // undecided placeholder until the first refresh
+	}
+	m := make([]uint64, n)
+	und := func(v int) bool { return t[v] != in && t[v] != out }
+	remaining := n
+	for iter := 0; remaining > 0; iter++ {
+		for v := 0; v < n; v++ {
+			if und(v) {
+				t[v] = pack(prio(iter, v), v)
+			}
+		}
+		fmt.Fprintf(cfg.Out, "iteration %d\n  Refresh Row:    T =", iter)
+		for v := 0; v < n; v++ {
+			fmt.Fprintf(cfg.Out, " %s", show(t[v]))
+		}
+		fmt.Fprintln(cfg.Out)
+		for v := 0; v < n; v++ {
+			mv := t[v]
+			for _, w := range g.Neighbors(int32(v)) {
+				if t[w] < mv {
+					mv = t[w]
+				}
+			}
+			if mv == in {
+				mv = out
+			}
+			m[v] = mv
+		}
+		fmt.Fprintf(cfg.Out, "  Refresh Column: M =")
+		for v := 0; v < n; v++ {
+			fmt.Fprintf(cfg.Out, " %s", show(m[v]))
+		}
+		fmt.Fprintln(cfg.Out)
+		for v := 0; v < n; v++ {
+			if !und(v) {
+				continue
+			}
+			anyOut := m[v] == out
+			allEq := m[v] == t[v]
+			if !anyOut {
+				for _, w := range g.Neighbors(int32(v)) {
+					if m[w] == out {
+						anyOut = true
+						break
+					}
+					if m[w] != t[v] {
+						allEq = false
+					}
+				}
+			}
+			if anyOut {
+				t[v] = out
+				remaining--
+			} else if allEq {
+				t[v] = in
+				remaining--
+			}
+		}
+		fmt.Fprintf(cfg.Out, "  Decide Set:     T =")
+		for v := 0; v < n; v++ {
+			if und(v) {
+				fmt.Fprintf(cfg.Out, " undec")
+			} else {
+				fmt.Fprintf(cfg.Out, " %s", show(t[v]))
+			}
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	var set []int32
+	for v := 0; v < n; v++ {
+		if t[v] == in {
+			set = append(set, int32(v))
+		}
+	}
+	fmt.Fprintf(cfg.Out, "MIS-2 = %v (1-indexed: %v)\n", set, oneIndexed(set))
+	if err := mis.CheckMIS2(g, set); err != nil {
+		fmt.Fprintf(cfg.Out, "INVALID: %v\n", err)
+	} else {
+		fmt.Fprintln(cfg.Out, "verified: valid distance-2 maximal independent set")
+	}
+}
+
+func oneIndexed(set []int32) []int32 {
+	out := make([]int32, len(set))
+	for i, v := range set {
+		out[i] = v + 1
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// PartitionComparison evaluates the paper's §VII future-work proposal the
+// way Gilbert et al. (IPDPS 2021) evaluate coarsening schemes for
+// multilevel partitioning: edge cut and balance of a multilevel bisection
+// with MIS-2-aggregation coarsening vs. heavy-edge matching, across the
+// matrix suite.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mis2go/internal/partition"
+)
+
+// PartitionComparison prints cut/balance/time for both coarsening
+// policies on every suite graph.
+func PartitionComparison(cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "Partitioning (paper §VII future work): MIS-2 vs HEM coarsening (scale=%.3g)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s %12s %10s %10s %12s %10s %10s\n",
+		"matrix", "MIS2 cut", "balance", "time", "HEM cut", "balance", "time")
+	var ratios []float64
+	for _, m := range suiteGraphs(cfg.Scale) {
+		type out struct {
+			res partition.Result
+			d   time.Duration
+		}
+		run := func(p partition.Policy) (out, error) {
+			start := time.Now()
+			res, err := partition.Partition(m.G, partition.Options{Policy: p, Threads: cfg.Threads})
+			return out{res: res, d: time.Since(start)}, err
+		}
+		a, errA := run(partition.MIS2Policy)
+		b, errB := run(partition.HEMPolicy)
+		if errA != nil || errB != nil {
+			fmt.Fprintf(cfg.Out, "%-18s (error: %v %v)\n", m.Spec.Name, errA, errB)
+			continue
+		}
+		fmt.Fprintf(cfg.Out, "%-18s %12d %10.3f %10s %12d %10.3f %10s\n",
+			m.Spec.Name,
+			a.res.EdgeCut, a.res.Balance, a.d.Round(time.Millisecond),
+			b.res.EdgeCut, b.res.Balance, b.d.Round(time.Millisecond))
+		if b.res.EdgeCut > 0 {
+			ratios = append(ratios, float64(a.res.EdgeCut)/float64(b.res.EdgeCut))
+		}
+	}
+	fmt.Fprintf(cfg.Out, "%-18s %12s  (MIS2 cut / HEM cut geomean: %.2f)\n", "summary", "", geomean(ratios))
+}

@@ -1,0 +1,333 @@
+// Package gen generates the structured and synthetic graphs/matrices used
+// by the paper's experiments: Laplace 2D/3D stencil problems and
+// Elasticity3D (27-point stencil, 3 dof per grid point) equivalent to the
+// Galeri/Trilinos generators, plus deterministic irregular generators used
+// as surrogates for SuiteSparse matrices (see DESIGN.md substitutions).
+package gen
+
+import (
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/sparse"
+)
+
+// Laplace3D returns the graph of a nx x ny x nz grid with a 7-point
+// stencil (6 neighbors; the center is the implicit diagonal).
+func Laplace3D(nx, ny, nz int) *graph.CSR {
+	idx := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	n := nx * ny * nz
+	edges := make([]graph.Edge, 0, 3*n)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := idx(x, y, z)
+				if x+1 < nx {
+					edges = append(edges, graph.Edge{U: v, V: idx(x+1, y, z)})
+				}
+				if y+1 < ny {
+					edges = append(edges, graph.Edge{U: v, V: idx(x, y+1, z)})
+				}
+				if z+1 < nz {
+					edges = append(edges, graph.Edge{U: v, V: idx(x, y, z+1)})
+				}
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Laplace2D returns the graph of an nx x ny grid with a 5-point stencil.
+func Laplace2D(nx, ny int) *graph.CSR {
+	idx := func(x, y int) int32 { return int32(y*nx + x) }
+	n := nx * ny
+	edges := make([]graph.Edge, 0, 2*n)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := idx(x, y)
+			if x+1 < nx {
+				edges = append(edges, graph.Edge{U: v, V: idx(x+1, y)})
+			}
+			if y+1 < ny {
+				edges = append(edges, graph.Edge{U: v, V: idx(x, y+1)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Grid3D27 returns the graph of a nx x ny x nz grid with a 27-point
+// stencil (all neighbors in the surrounding 3x3x3 cube).
+func Grid3D27(nx, ny, nz int) *graph.CSR {
+	idx := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	n := nx * ny * nz
+	edges := make([]graph.Edge, 0, 13*n)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := idx(x, y, z)
+				// Emit each undirected edge once: lexicographically
+				// positive offsets only.
+				for dz := 0; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dz == 0 && (dy < 0 || (dy == 0 && dx <= 0)) {
+								continue
+							}
+							X, Y, Z := x+dx, y+dy, z+dz
+							if X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz {
+								continue
+							}
+							edges = append(edges, graph.Edge{U: v, V: idx(X, Y, Z)})
+						}
+					}
+				}
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Elasticity3D returns the graph of a nx x ny x nz grid with a 27-point
+// stencil and dof degrees of freedom per grid point (paper: dof=3),
+// matching the structure of Galeri's Elasticity3D problem: all dofs at a
+// grid point couple to all dofs at stencil-adjacent points and to each
+// other.
+func Elasticity3D(nx, ny, nz, dof int) *graph.CSR {
+	base := Grid3D27(nx, ny, nz)
+	return ExpandDOF(base, dof)
+}
+
+// ExpandDOF expands every vertex of g into dof fully-coupled vertices that
+// also couple to every dof of every neighbor (block structure of a
+// multi-dof FEM discretization).
+func ExpandDOF(g *graph.CSR, dof int) *graph.CSR {
+	if dof <= 1 {
+		return g
+	}
+	n := g.N * dof
+	rowPtr := make([]int, n+1)
+	for v := 0; v < g.N; v++ {
+		d := g.RowPtr[v+1] - g.RowPtr[v]
+		rowDeg := (d+1)*dof - 1 // all dofs of self and neighbors, minus self
+		for k := 0; k < dof; k++ {
+			rowPtr[v*dof+k+1] = rowPtr[v*dof+k] + rowDeg
+		}
+	}
+	col := make([]int32, rowPtr[n])
+	for v := 0; v < g.N; v++ {
+		adj := g.Neighbors(int32(v))
+		for k := 0; k < dof; k++ {
+			row := v*dof + k
+			p := rowPtr[row]
+			// Interleave self-block and neighbor blocks in sorted order:
+			// collect block ids (self + neighbors), already sorted except
+			// self needs insertion.
+			emitBlock := func(b int32) {
+				for j := 0; j < dof; j++ {
+					w := int32(int(b)*dof + j)
+					if int(w) == row {
+						continue
+					}
+					col[p] = w
+					p++
+				}
+			}
+			selfDone := false
+			for _, w := range adj {
+				if !selfDone && int(w) > v {
+					emitBlock(int32(v))
+					selfDone = true
+				}
+				emitBlock(w)
+			}
+			if !selfDone {
+				emitBlock(int32(v))
+			}
+		}
+	}
+	return &graph.CSR{N: n, RowPtr: rowPtr, Col: col}
+}
+
+// Slab27 returns a thin 3D slab (nx x ny x nz with small nz) with a
+// 27-point stencil: a surrogate for shell-type FEM matrices with average
+// degree around 17-18 (e.g. af_shell7).
+func Slab27(nx, ny, nz int) *graph.CSR { return Grid3D27(nx, ny, nz) }
+
+// RandomFEM generates a deterministic irregular mesh-like graph: vertices
+// on a 3D grid with a 7-point base stencil plus extra short-range random
+// edges until the average degree is approximately avgDeg. Surrogate for
+// irregular SuiteSparse FEM matrices.
+func RandomFEM(nx, ny, nz int, avgDeg float64, seed uint64) *graph.CSR {
+	idx := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	n := nx * ny * nz
+	edges := make([]graph.Edge, 0, int(avgDeg)*n/2+3*n)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := idx(x, y, z)
+				if x+1 < nx {
+					edges = append(edges, graph.Edge{U: v, V: idx(x+1, y, z)})
+				}
+				if y+1 < ny {
+					edges = append(edges, graph.Edge{U: v, V: idx(x, y+1, z)})
+				}
+				if z+1 < nz {
+					edges = append(edges, graph.Edge{U: v, V: idx(x, y, z+1)})
+				}
+			}
+		}
+	}
+	// Base average degree is ~6; add random short-range edges to reach
+	// avgDeg. Each extra undirected edge adds 2 to the degree sum.
+	extra := int((avgDeg - 6) * float64(n) / 2)
+	state := seed | 1
+	rng := func() uint64 {
+		state = hash.Xorshift64Star(state)
+		return state
+	}
+	for i := 0; i < extra; i++ {
+		// Pick a random vertex and a random offset within a 5x5x5 window.
+		r := rng()
+		x := int(r % uint64(nx))
+		y := int((r >> 20) % uint64(ny))
+		z := int((r >> 40) % uint64(nz))
+		r2 := rng()
+		dx := int(r2%5) - 2
+		dy := int((r2>>16)%5) - 2
+		dz := int((r2>>32)%5) - 2
+		X, Y, Z := x+dx, y+dy, z+dz
+		if X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz {
+			continue
+		}
+		u, v := idx(x, y, z), idx(X, Y, Z)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// ErdosRenyi generates a deterministic G(n, m)-style random graph with
+// approximately m undirected edges.
+func ErdosRenyi(n, m int, seed uint64) *graph.CSR {
+	edges := make([]graph.Edge, 0, m)
+	state := seed | 1
+	for i := 0; i < m; i++ {
+		state = hash.Xorshift64Star(state)
+		u := int32(state % uint64(n))
+		state = hash.Xorshift64Star(state)
+		v := int32(state % uint64(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Laplacian returns the SPD matrix with the sparsity pattern of g:
+// A[i][i] = deg(i) + shift, A[i][j] = -1 for each edge. With shift > 0 the
+// matrix is strictly diagonally dominant (nonsingular).
+func Laplacian(g *graph.CSR, shift float64) *sparse.Matrix {
+	n := g.N
+	rowPtr := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		rowPtr[v+1] = rowPtr[v] + g.Degree(int32(v)) + 1
+	}
+	col := make([]int32, rowPtr[n])
+	val := make([]float64, rowPtr[n])
+	for v := int32(0); int(v) < n; v++ {
+		p := rowPtr[v]
+		placed := false
+		for _, w := range g.Neighbors(v) {
+			if !placed && w > v {
+				col[p], val[p] = v, float64(g.Degree(v))+shift
+				p++
+				placed = true
+			}
+			col[p], val[p] = w, -1
+			p++
+		}
+		if !placed {
+			col[p], val[p] = v, float64(g.Degree(v))+shift
+		}
+	}
+	return &sparse.Matrix{Rows: n, Cols: n, RowPtr: rowPtr, Col: col, Val: val}
+}
+
+// DirichletLaplacian returns the SPD matrix with the sparsity pattern of
+// g, a constant diagonal, and -1 off-diagonals: A = diag*I - Adj(g).
+// For a stencil graph with interior degree d, diag = d reproduces the
+// Dirichlet-boundary discretization of the Galeri generators (boundary
+// rows keep the full diagonal, which encodes the eliminated boundary).
+// diag must be at least the maximum degree for positive definiteness.
+func DirichletLaplacian(g *graph.CSR, diag float64) *sparse.Matrix {
+	n := g.N
+	rowPtr := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		rowPtr[v+1] = rowPtr[v] + g.Degree(int32(v)) + 1
+	}
+	col := make([]int32, rowPtr[n])
+	val := make([]float64, rowPtr[n])
+	for v := int32(0); int(v) < n; v++ {
+		p := rowPtr[v]
+		placed := false
+		for _, w := range g.Neighbors(v) {
+			if !placed && w > v {
+				col[p], val[p] = v, diag
+				p++
+				placed = true
+			}
+			col[p], val[p] = w, -1
+			p++
+		}
+		if !placed {
+			col[p], val[p] = v, diag
+		}
+	}
+	return &sparse.Matrix{Rows: n, Cols: n, RowPtr: rowPtr, Col: col, Val: val}
+}
+
+// WeightedLaplacian is like Laplacian but with deterministic pseudo-random
+// edge weights in (0.5, 1.5), keeping symmetry: weight of (u,v) depends
+// only on the unordered pair. Produces less-trivial spectra for solver
+// experiments.
+func WeightedLaplacian(g *graph.CSR, shift float64, seed uint64) *sparse.Matrix {
+	n := g.N
+	w := func(u, v int32) float64 {
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		h := hash.Xorshift64Star(seed ^ (uint64(a)<<32 | uint64(uint32(b+1))))
+		return 0.5 + float64(h%1024)/1024.0
+	}
+	rowPtr := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		rowPtr[v+1] = rowPtr[v] + g.Degree(int32(v)) + 1
+	}
+	col := make([]int32, rowPtr[n])
+	val := make([]float64, rowPtr[n])
+	for v := int32(0); int(v) < n; v++ {
+		sum := 0.0
+		for _, u := range g.Neighbors(v) {
+			sum += w(v, u)
+		}
+		p := rowPtr[v]
+		placed := false
+		for _, u := range g.Neighbors(v) {
+			if !placed && u > v {
+				col[p], val[p] = v, sum+shift
+				p++
+				placed = true
+			}
+			col[p], val[p] = u, -w(v, u)
+			p++
+		}
+		if !placed {
+			col[p], val[p] = v, sum+shift
+		}
+	}
+	return &sparse.Matrix{Rows: n, Cols: n, RowPtr: rowPtr, Col: col, Val: val}
+}

@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/par"
+)
+
+func TestDirichletLaplacianStructure(t *testing.T) {
+	g := Laplace3D(6, 6, 6)
+	a := DirichletLaplacian(g, 6)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := a.Diagonal()
+	for i, v := range d {
+		if v != 6 {
+			t.Fatalf("diagonal %d = %g, want 6", i, v)
+		}
+	}
+	// Row sums: zero for interior rows, positive for boundary rows
+	// (the eliminated Dirichlet boundary).
+	rt := par.New(1)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	y := make([]float64, a.Rows)
+	a.SpMV(rt, ones, y)
+	interior := int32((2*6+2)*6 + 2)
+	if math.Abs(y[interior]) > 1e-14 {
+		t.Fatalf("interior row sum %g, want 0", y[interior])
+	}
+	if y[0] <= 0 {
+		t.Fatalf("corner row sum %g, want > 0", y[0])
+	}
+}
+
+func TestDirichletLaplacianSymmetric(t *testing.T) {
+	g := Laplace2D(9, 9)
+	a := DirichletLaplacian(g, 4)
+	at := a.Transpose()
+	for i := range a.Val {
+		if a.Col[i] != at.Col[i] || a.Val[i] != at.Val[i] {
+			t.Fatal("Dirichlet Laplacian not symmetric")
+		}
+	}
+}
+
+func TestDirichletLaplacianPositiveDefinite(t *testing.T) {
+	// x^T A x > 0 for a few deterministic nonzero vectors.
+	g := Laplace2D(8, 8)
+	a := DirichletLaplacian(g, 4)
+	rt := par.New(1)
+	n := a.Rows
+	y := make([]float64, n)
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(trial+1) * 0.31 * float64(i))
+		}
+		a.SpMV(rt, x, y)
+		q := 0.0
+		for i := range x {
+			q += x[i] * y[i]
+		}
+		if q <= 0 {
+			t.Fatalf("trial %d: x^T A x = %g", trial, q)
+		}
+	}
+}
+
+func TestSlab27MatchesGrid3D27(t *testing.T) {
+	a := Slab27(10, 10, 2)
+	b := Grid3D27(10, 10, 2)
+	if a.N != b.N || a.NumEdges() != b.NumEdges() {
+		t.Fatal("Slab27 is not Grid3D27")
+	}
+	// Slab interior degree: 3x3x2 neighborhood minus self = 17
+	// (the af_shell7 surrogate's target).
+	interior := int32(5*10 + 5)
+	if a.Degree(interior) != 17 {
+		t.Fatalf("slab interior degree = %d, want 17", a.Degree(interior))
+	}
+}
+
+func TestRandomFEMRespectsLowTarget(t *testing.T) {
+	// avgDeg at or below the base stencil: no extra edges are added.
+	g := RandomFEM(8, 8, 8, 4.0, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.AvgDegree() > 6.5 {
+		t.Fatalf("avg degree %.2f exceeds 7-pt base", g.AvgDegree())
+	}
+}
+
+func TestGeneratorsMinimumDims(t *testing.T) {
+	for name, g := range map[string]interface{ Validate() error }{
+		"laplace3d-1":  Laplace3D(1, 1, 1),
+		"laplace2d-1":  Laplace2D(1, 1),
+		"grid27-1":     Grid3D27(1, 1, 1),
+		"elasticity-1": Elasticity3D(1, 1, 1, 3),
+		"fem-2":        RandomFEM(2, 2, 2, 8, 1),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestExpandDOFEdgeCountFormula(t *testing.T) {
+	g := Laplace2D(4, 4)
+	dof := 3
+	e := ExpandDOF(g, dof)
+	// Arc count: each vertex row of degree d expands to dof rows of
+	// degree (d+1)*dof-1.
+	want := 0
+	for v := 0; v < g.N; v++ {
+		want += dof * ((g.Degree(int32(v))+1)*dof - 1)
+	}
+	if e.NumEdges() != want {
+		t.Fatalf("expanded arcs = %d, want %d", e.NumEdges(), want)
+	}
+}

@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/par"
+)
+
+func TestLaplace3DStructure(t *testing.T) {
+	g := Laplace3D(4, 5, 6)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 120 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Corner vertex (0,0,0) has 3 neighbors; interior has 6.
+	if g.Degree(0) != 3 {
+		t.Fatalf("corner degree = %d, want 3", g.Degree(0))
+	}
+	interior := int32((2*5+2)*4 + 2) // (z=2, y=2, x=2)
+	if g.Degree(interior) != 6 {
+		t.Fatalf("interior degree = %d, want 6", g.Degree(interior))
+	}
+	if g.MaxDegree() != 6 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestLaplace2DStructure(t *testing.T) {
+	g := Laplace2D(7, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 63 || g.MaxDegree() != 4 || g.Degree(0) != 2 {
+		t.Fatalf("unexpected structure: N=%d max=%d corner=%d", g.N, g.MaxDegree(), g.Degree(0))
+	}
+}
+
+func TestGrid3D27Structure(t *testing.T) {
+	g := Grid3D27(5, 5, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior vertex: full 3x3x3 cube minus self = 26.
+	interior := int32((2*5+2)*5 + 2)
+	if g.Degree(interior) != 26 {
+		t.Fatalf("interior degree = %d, want 26", g.Degree(interior))
+	}
+	if g.Degree(0) != 7 { // corner: 2x2x2 cube minus self
+		t.Fatalf("corner degree = %d, want 7", g.Degree(0))
+	}
+}
+
+func TestElasticity3DStructure(t *testing.T) {
+	g := Elasticity3D(4, 4, 4, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 192 {
+		t.Fatalf("N = %d, want 192", g.N)
+	}
+	// Interior grid point has 26 neighbors; each of its 3 dofs couples to
+	// all dofs of self and neighbors minus itself: 27*3 - 1 = 80.
+	interior := ((1*4+1)*4 + 1) * 3
+	if g.Degree(int32(interior)) != 80 {
+		t.Fatalf("interior dof degree = %d, want 80", g.Degree(int32(interior)))
+	}
+	// Paper Table II: Elasticity3D_60 has avg degree ~78 at 648k vertices.
+	if g.AvgDegree() < 40 {
+		t.Fatalf("avg degree %.1f too low", g.AvgDegree())
+	}
+}
+
+func TestExpandDOFIdentity(t *testing.T) {
+	g := Laplace2D(3, 3)
+	if ExpandDOF(g, 1) != g {
+		t.Fatal("dof=1 must return the same graph")
+	}
+	e := ExpandDOF(g, 2)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.N != 18 {
+		t.Fatalf("N = %d", e.N)
+	}
+	// Each dof couples to its sibling dof: edge (2v, 2v+1) must exist.
+	for v := int32(0); v < 9; v++ {
+		if !e.HasEdge(2*v, 2*v+1) {
+			t.Fatalf("sibling dof edge missing at block %d", v)
+		}
+	}
+}
+
+func TestRandomFEMTargetsDegree(t *testing.T) {
+	g := RandomFEM(20, 20, 20, 22.0, 12345)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 8000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	avg := g.AvgDegree()
+	if avg < 14 || avg > 26 {
+		t.Fatalf("avg degree %.1f not near target 22", avg)
+	}
+	// Deterministic.
+	h := RandomFEM(20, 20, 20, 22.0, 12345)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("RandomFEM not deterministic")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 99)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 8000 { // ~2*5000 minus collisions
+		t.Fatalf("edges = %d, too few", g.NumEdges())
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	g := Laplace2D(10, 10)
+	a := Laplacian(g, 0.5)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row sums equal the shift; diagonal = degree + shift.
+	rt := par.New(1)
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	y := make([]float64, a.Rows)
+	a.SpMV(rt, ones, y)
+	for i, v := range y {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("row %d sum = %g, want 0.5", i, v)
+		}
+	}
+	d := a.Diagonal()
+	for i := range d {
+		if d[i] != float64(g.Degree(int32(i)))+0.5 {
+			t.Fatalf("diagonal %d = %g", i, d[i])
+		}
+	}
+}
+
+func TestWeightedLaplacianSymmetric(t *testing.T) {
+	g := Laplace2D(8, 8)
+	a := WeightedLaplacian(g, 0.1, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	at := a.Transpose()
+	for i := range a.Val {
+		if a.Col[i] != at.Col[i] || math.Abs(a.Val[i]-at.Val[i]) > 1e-15 {
+			t.Fatal("weighted Laplacian not symmetric")
+		}
+	}
+	// Weak diagonal dominance with positive shift.
+	d := a.Diagonal()
+	for i := 0; i < a.Rows; i++ {
+		off := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.Col[p]) != i {
+				off += math.Abs(a.Val[p])
+			}
+		}
+		if d[i] <= off {
+			t.Fatalf("row %d not strictly dominant: diag %g off %g", i, d[i], off)
+		}
+	}
+}
+
+func TestLaplacianMatchesGraphPattern(t *testing.T) {
+	g := Laplace3D(3, 3, 3)
+	a := Laplacian(g, 1.0)
+	back := a.Graph()
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("pattern round-trip changed edges: %d vs %d", back.NumEdges(), g.NumEdges())
+	}
+}

@@ -1,0 +1,286 @@
+// Package krylov provides the iterative solvers used by the paper's
+// solver experiments: preconditioned conjugate gradient (Table V) and
+// preconditioned restarted GMRES (Table VI).
+package krylov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+// Preconditioner applies z = M^{-1} r. Implementations must not modify r.
+type Preconditioner interface {
+	Precondition(r, z []float64)
+}
+
+// identityPrec is the unpreconditioned fallback.
+type identityPrec struct{}
+
+func (identityPrec) Precondition(r, z []float64) { copy(z, r) }
+
+// Identity returns the no-op preconditioner.
+func Identity() Preconditioner { return identityPrec{} }
+
+// Jacobi returns the diagonal (Jacobi) preconditioner for a, the simplest
+// baseline between no preconditioning and the structured methods.
+// It returns an error if any diagonal entry is zero.
+func Jacobi(a *sparse.Matrix) (Preconditioner, error) {
+	d := a.Diagonal()
+	dinv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("krylov: zero diagonal at row %d", i)
+		}
+		dinv[i] = 1 / v
+	}
+	return jacobiPrecond{dinv: dinv}, nil
+}
+
+type jacobiPrecond struct{ dinv []float64 }
+
+func (j jacobiPrecond) Precondition(r, z []float64) {
+	for i := range z {
+		z[i] = j.dinv[i] * r[i]
+	}
+}
+
+// Stats reports the outcome of a solve.
+type Stats struct {
+	// Iterations performed (matrix-vector products for CG; inner
+	// iterations for GMRES).
+	Iterations int
+	// RelResidual is the final relative residual ||b - Ax|| / ||b||.
+	RelResidual float64
+	// Converged reports whether the tolerance was met.
+	Converged bool
+}
+
+// ErrNotConverged is wrapped by solvers that hit the iteration limit.
+var ErrNotConverged = errors.New("krylov: did not converge")
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// axpy computes y += alpha*x.
+func axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// CG solves A x = b for SPD A with the preconditioned conjugate gradient
+// method. x holds the initial guess on entry and the solution on exit.
+// Iterations stop when the recurrence residual drops below tol*||b|| or
+// maxIter is reached; Stats reports the true final residual.
+func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner) (Stats, error) {
+	n := a.Rows
+	if len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("krylov: CG size mismatch (n=%d, len(b)=%d, len(x)=%d)", n, len(b), len(x))
+	}
+	if m == nil {
+		m = Identity()
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.SpMV(rt, x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	m.Precondition(r, z)
+	copy(p, z)
+	rz := dot(r, z)
+
+	iters := 0
+	met := false
+	for ; iters < maxIter; iters++ {
+		if norm2(r)/bnorm < tol {
+			met = true
+			break
+		}
+		a.SpMV(rt, p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return Stats{Iterations: iters, RelResidual: norm2(r) / bnorm},
+				fmt.Errorf("krylov: CG breakdown, p^T A p = %g (matrix not SPD?)", pap)
+		}
+		alpha := rz / pap
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		m.Precondition(r, z)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	rel := finalResidual(rt, a, b, x, bnorm)
+	if iters < maxIter {
+		met = true // loop exited on the residual test
+	}
+	st := Stats{Iterations: iters, RelResidual: rel, Converged: met || rel < tol}
+	if !st.Converged {
+		return st, fmt.Errorf("%w: CG after %d iterations, relres %.3e", ErrNotConverged, iters, rel)
+	}
+	return st, nil
+}
+
+// GMRES solves A x = b with left-preconditioned restarted GMRES(restart).
+// x holds the initial guess on entry and the solution on exit.
+func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner) (Stats, error) {
+	n := a.Rows
+	if len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("krylov: GMRES size mismatch")
+	}
+	if m == nil {
+		m = Identity()
+	}
+	if restart <= 0 {
+		restart = 50
+	}
+	if restart > maxIter {
+		restart = maxIter
+	}
+
+	// Preconditioned right-hand side norm for the stopping test.
+	zb := make([]float64, n)
+	m.Precondition(b, zb)
+	zbnorm := norm2(zb)
+	if zbnorm == 0 {
+		zbnorm = 1
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	w := make([]float64, n)
+	// Krylov basis.
+	v := make([][]float64, restart+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, restart+1) // Hessenberg, h[i][j]
+	for i := range h {
+		h[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	s := make([]float64, restart+1)
+	y := make([]float64, restart)
+
+	totalIters := 0
+	met := false
+	for totalIters < maxIter {
+		// r = M^{-1}(b - A x)
+		a.SpMV(rt, x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		m.Precondition(r, z)
+		beta := norm2(z)
+		if beta/zbnorm < tol {
+			met = true
+			break
+		}
+		inv := 1 / beta
+		for i := range z {
+			v[0][i] = z[i] * inv
+		}
+		for i := range s {
+			s[i] = 0
+		}
+		s[0] = beta
+
+		k := 0
+		for ; k < restart && totalIters < maxIter; k++ {
+			totalIters++
+			// w = M^{-1} A v_k
+			a.SpMV(rt, v[k], w)
+			m.Precondition(w, z)
+			copy(w, z)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = dot(w, v[i])
+				axpy(-h[i][k], v[i], w)
+			}
+			h[k+1][k] = norm2(w)
+			if h[k+1][k] > 1e-300 {
+				inv := 1 / h[k+1][k]
+				for i := range w {
+					v[k+1][i] = w[i] * inv
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation to annihilate h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k], sn[k] = h[k][k]/denom, h[k+1][k]/denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			s[k+1] = -sn[k] * s[k]
+			s[k] = cs[k] * s[k]
+			if math.Abs(s[k+1])/zbnorm < tol {
+				k++
+				break
+			}
+		}
+		// Solve the upper triangular system h y = s.
+		for i := k - 1; i >= 0; i-- {
+			y[i] = s[i]
+			for j := i + 1; j < k; j++ {
+				y[i] -= h[i][j] * y[j]
+			}
+			y[i] /= h[i][i]
+		}
+		for i := 0; i < k; i++ {
+			axpy(y[i], v[i], x)
+		}
+		if k == 0 {
+			break // stagnation
+		}
+	}
+	rel := finalResidual(rt, a, b, x, bnorm)
+	st := Stats{Iterations: totalIters, RelResidual: rel, Converged: met || rel < tol}
+	if !st.Converged {
+		return st, fmt.Errorf("%w: GMRES after %d iterations, relres %.3e", ErrNotConverged, totalIters, rel)
+	}
+	return st, nil
+}
+
+func finalResidual(rt *par.Runtime, a *sparse.Matrix, b, x []float64, bnorm float64) float64 {
+	r := make([]float64, a.Rows)
+	a.SpMV(rt, x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return norm2(r) / bnorm
+}

@@ -1,0 +1,189 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+func spdProblem(nx, ny int) (*sparse.Matrix, []float64, []float64) {
+	g := gen.Laplace2D(nx, ny)
+	a := gen.Laplacian(g, 0.1)
+	n := a.Rows
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(0.1 * float64(i))
+	}
+	b := make([]float64, n)
+	a.SpMV(par.New(1), xTrue, b)
+	return a, b, xTrue
+}
+
+func TestCGConvergesOnSPD(t *testing.T) {
+	a, b, xTrue := spdProblem(20, 20)
+	x := make([]float64, a.Rows)
+	st, err := CG(par.New(4), a, b, x, 1e-10, 2000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCGIterationLimit(t *testing.T) {
+	a, b, _ := spdProblem(30, 30)
+	x := make([]float64, a.Rows)
+	_, err := CG(par.New(2), a, b, x, 1e-14, 3, nil)
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+}
+
+func TestCGSizeMismatch(t *testing.T) {
+	a, b, _ := spdProblem(5, 5)
+	if _, err := CG(par.New(1), a, b, make([]float64, 3), 1e-8, 10, nil); err == nil {
+		t.Fatal("size mismatch not reported")
+	}
+}
+
+func TestCGDetectsIndefinite(t *testing.T) {
+	// -I is definitely not SPD.
+	a := sparse.Identity(10)
+	a.Scale(-1)
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 10)
+	if _, err := CG(par.New(1), a, b, x, 1e-8, 50, nil); err == nil {
+		t.Fatal("indefinite matrix not detected")
+	}
+}
+
+func TestGMRESConvergesOnSPD(t *testing.T) {
+	a, b, xTrue := spdProblem(15, 15)
+	x := make([]float64, a.Rows)
+	st, err := GMRES(par.New(4), a, b, x, 1e-10, 3000, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestGMRESOnNonsymmetric(t *testing.T) {
+	// Upwind-ish convection-diffusion: unsymmetric but well conditioned.
+	n := 200
+	a := &sparse.Matrix{Rows: n, Cols: n}
+	a.RowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			a.Col = append(a.Col, int32(i-1))
+			a.Val = append(a.Val, -1.5)
+		}
+		a.Col = append(a.Col, int32(i))
+		a.Val = append(a.Val, 4)
+		if i < n-1 {
+			a.Col = append(a.Col, int32(i+1))
+			a.Val = append(a.Val, -0.5)
+		}
+		a.RowPtr[i+1] = len(a.Col)
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = float64(i%7) - 3
+	}
+	b := make([]float64, n)
+	a.SpMV(par.New(1), xTrue, b)
+	x := make([]float64, n)
+	st, err := GMRES(par.New(2), a, b, x, 1e-10, 1000, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+type jacobiPrec struct{ dinv []float64 }
+
+func (j jacobiPrec) Precondition(r, z []float64) {
+	for i := range z {
+		z[i] = j.dinv[i] * r[i]
+	}
+}
+
+func TestPreconditioningReducesCGIterations(t *testing.T) {
+	g := gen.Laplace2D(40, 40)
+	a := gen.WeightedLaplacian(g, 0.01, 3)
+	n := a.Rows
+	// Non-constant RHS: a constant vector is an eigenvector of the
+	// constant-row-sum Laplacian and converges in one step.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(0.3*float64(i)) + 0.2*float64(i%11)
+	}
+	plain := make([]float64, n)
+	stPlain, err := CG(par.New(4), a, b, plain, 1e-8, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Diagonal()
+	dinv := make([]float64, n)
+	for i := range d {
+		dinv[i] = 1 / d[i]
+	}
+	pre := make([]float64, n)
+	stPre, err := CG(par.New(4), a, b, pre, 1e-8, 5000, jacobiPrec{dinv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPre.Iterations > stPlain.Iterations {
+		t.Fatalf("Jacobi preconditioning increased iterations: %d > %d", stPre.Iterations, stPlain.Iterations)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a, _, _ := spdProblem(5, 5)
+	b := make([]float64, a.Rows)
+	x := make([]float64, a.Rows)
+	st, err := GMRES(par.New(1), a, b, x, 1e-10, 100, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("zero RHS should converge immediately, took %d", st.Iterations)
+	}
+}
+
+func TestIdentityPreconditioner(t *testing.T) {
+	r := []float64{1, 2, 3}
+	z := make([]float64, 3)
+	Identity().Precondition(r, z)
+	for i := range r {
+		if z[i] != r[i] {
+			t.Fatal("identity preconditioner must copy")
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package matrices provides the 17-matrix experiment suite of the paper's
+// Table II (plus bodyy5 from Table VI) as deterministic synthetic
+// surrogates.
+//
+// Two of the paper's matrices (Laplace3D_100 and Elasticity3D_60) come
+// from the Galeri/Trilinos generators and are reproduced exactly (up to
+// scale). The 15 SuiteSparse matrices cannot be downloaded in this offline
+// environment; each gets a surrogate matched on vertex count, average
+// degree, maximum-degree character, and structure class (regular 2D/3D
+// mesh vs. irregular FEM). See DESIGN.md for the substitution rationale.
+//
+// Every generator takes a scale factor multiplying the paper's vertex
+// count: Suite(1.0) reproduces paper-sized problems (hundreds of millions
+// of edges in total — several GB); experiments default to a smaller scale.
+package matrices
+
+import (
+	"fmt"
+	"math"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/graph"
+	"mis2go/internal/sparse"
+)
+
+// Spec describes one suite matrix: its paper statistics (from Table II)
+// and a surrogate generator.
+type Spec struct {
+	// Name is the paper's matrix name.
+	Name string
+	// PaperV and PaperE are |V| and |E| in millions (Table II).
+	PaperV, PaperE float64
+	// PaperAvgDeg and PaperMaxDeg are the degree statistics in Table II.
+	PaperAvgDeg float64
+	PaperMaxDeg int
+	// Class describes the surrogate structure.
+	Class string
+	build func(scale float64) *graph.CSR
+}
+
+// Build generates the surrogate graph at the given scale (fraction of the
+// paper's vertex count; 1.0 = paper size).
+func (s Spec) Build(scale float64) *graph.CSR { return s.build(scale) }
+
+// Matrix generates an SPD matrix (weighted graph Laplacian with small
+// diagonal shift) over the surrogate graph, for solver experiments.
+func (s Spec) Matrix(scale float64) *sparse.Matrix {
+	return gen.WeightedLaplacian(s.Build(scale), 0.05, hashName(s.Name))
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range s {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// dim3 returns a 3D side length so that side^3 ~= v*scale (min 4).
+func dim3(v float64, scale float64) int {
+	side := int(math.Cbrt(v * scale))
+	if side < 4 {
+		side = 4
+	}
+	return side
+}
+
+// dim2 returns a 2D side length so that side^2 ~= v*scale (min 8).
+func dim2(v float64, scale float64) int {
+	side := int(math.Sqrt(v * scale))
+	if side < 8 {
+		side = 8
+	}
+	return side
+}
+
+// slabDims returns nx=ny and nz=2 so that nx*ny*2 ~= v*scale.
+func slabDims(v float64, scale float64) (int, int) {
+	side := int(math.Sqrt(v * scale / 2))
+	if side < 8 {
+		side = 8
+	}
+	return side, 2
+}
+
+// honeycomb builds a max-degree-3 lattice (brick-wall honeycomb): the
+// surrogate for ecology2's degree-3 structure.
+func honeycomb(nx, ny int) *graph.CSR {
+	idx := func(x, y int) int32 { return int32(y*nx + x) }
+	var edges []graph.Edge
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				edges = append(edges, graph.Edge{U: idx(x, y), V: idx(x+1, y)})
+			}
+			if y+1 < ny && (x+y)%2 == 0 {
+				edges = append(edges, graph.Edge{U: idx(x, y), V: idx(x, y+1)})
+			}
+		}
+	}
+	return graph.FromEdges(nx*ny, edges)
+}
+
+func femBuilder(v float64, avgDeg float64, seed uint64) func(scale float64) *graph.CSR {
+	return func(scale float64) *graph.CSR {
+		side := dim3(v, scale)
+		return gen.RandomFEM(side, side, side, avgDeg, seed)
+	}
+}
+
+// specs is the suite in the paper's Table II row order.
+var specs = []Spec{
+	{
+		Name: "af_shell7", PaperV: 0.505, PaperE: 9.047, PaperAvgDeg: 17.92, PaperMaxDeg: 35,
+		Class: "3D shell slab, 27-pt",
+		build: func(scale float64) *graph.CSR {
+			side, nz := slabDims(0.505e6, scale)
+			return gen.Slab27(side, side, nz)
+		},
+	},
+	{
+		Name: "apache2", PaperV: 0.715, PaperE: 2.767, PaperAvgDeg: 3.87, PaperMaxDeg: 4,
+		Class: "2D 5-pt mesh",
+		build: func(scale float64) *graph.CSR {
+			side := dim2(0.715e6, scale)
+			return gen.Laplace2D(side, side)
+		},
+	},
+	{
+		Name: "audikw_1", PaperV: 0.944, PaperE: 39.298, PaperAvgDeg: 41.64, PaperMaxDeg: 114,
+		Class: "irregular 3D FEM",
+		build: femBuilder(0.944e6, 41.64, 0xA0D1),
+	},
+	{
+		Name: "ecology2", PaperV: 1.000, PaperE: 2.998, PaperAvgDeg: 3.0, PaperMaxDeg: 3,
+		Class: "degree-3 lattice",
+		build: func(scale float64) *graph.CSR {
+			side := dim2(1.0e6, scale)
+			return honeycomb(side, side)
+		},
+	},
+	{
+		Name: "Elasticity3D_60", PaperV: 0.648, PaperE: 50.758, PaperAvgDeg: 78.33, PaperMaxDeg: 81,
+		Class: "Galeri 27-pt, 3 dof (exact)",
+		build: func(scale float64) *graph.CSR {
+			side := dim3(0.648e6/3, scale)
+			return gen.Elasticity3D(side, side, side, 3)
+		},
+	},
+	{
+		Name: "Emilia_923", PaperV: 0.923, PaperE: 20.964, PaperAvgDeg: 22.71, PaperMaxDeg: 48,
+		Class: "irregular 3D FEM",
+		build: femBuilder(0.923e6, 22.71, 0xE391),
+	},
+	{
+		Name: "Fault_639", PaperV: 0.639, PaperE: 14.627, PaperAvgDeg: 22.9, PaperMaxDeg: 114,
+		Class: "irregular 3D FEM",
+		build: femBuilder(0.639e6, 22.9, 0xFA17),
+	},
+	{
+		Name: "Geo_1438", PaperV: 1.438, PaperE: 32.297, PaperAvgDeg: 22.46, PaperMaxDeg: 48,
+		Class: "irregular 3D FEM",
+		build: femBuilder(1.438e6, 22.46, 0x6E03),
+	},
+	{
+		Name: "Hook_1498", PaperV: 1.498, PaperE: 31.208, PaperAvgDeg: 20.83, PaperMaxDeg: 57,
+		Class: "irregular 3D FEM",
+		build: femBuilder(1.498e6, 20.83, 0x4007),
+	},
+	{
+		Name: "Laplace3D_100", PaperV: 1.0, PaperE: 6.94, PaperAvgDeg: 6.94, PaperMaxDeg: 7,
+		Class: "Galeri 7-pt (exact)",
+		build: func(scale float64) *graph.CSR {
+			side := dim3(1.0e6, scale)
+			return gen.Laplace3D(side, side, side)
+		},
+	},
+	{
+		Name: "ldoor", PaperV: 0.952, PaperE: 23.737, PaperAvgDeg: 24.93, PaperMaxDeg: 49,
+		Class: "irregular 3D FEM",
+		build: femBuilder(0.952e6, 24.93, 0x1D00),
+	},
+	{
+		Name: "parabolic_fem", PaperV: 0.526, PaperE: 2.1, PaperAvgDeg: 3.99, PaperMaxDeg: 7,
+		Class: "2D 5-pt mesh",
+		build: func(scale float64) *graph.CSR {
+			side := dim2(0.526e6, scale)
+			return gen.Laplace2D(side, side)
+		},
+	},
+	{
+		Name: "PFlow_742", PaperV: 0.743, PaperE: 18.941, PaperAvgDeg: 25.5, PaperMaxDeg: 58,
+		Class: "irregular 3D FEM",
+		build: femBuilder(0.743e6, 25.5, 0x9F10),
+	},
+	{
+		Name: "Serena", PaperV: 1.391, PaperE: 32.962, PaperAvgDeg: 23.69, PaperMaxDeg: 201,
+		Class: "irregular 3D FEM",
+		build: femBuilder(1.391e6, 23.69, 0x5E3A),
+	},
+	{
+		Name: "StocF-1465", PaperV: 1.465, PaperE: 11.235, PaperAvgDeg: 7.67, PaperMaxDeg: 80,
+		Class: "irregular 3D FEM",
+		build: femBuilder(1.465e6, 7.67, 0x57CF),
+	},
+	{
+		Name: "thermal2", PaperV: 1.228, PaperE: 4.904, PaperAvgDeg: 3.99, PaperMaxDeg: 10,
+		Class: "2D 5-pt mesh",
+		build: func(scale float64) *graph.CSR {
+			side := dim2(1.228e6, scale)
+			return gen.Laplace2D(side, side)
+		},
+	},
+	{
+		Name: "tmt_sym", PaperV: 0.727, PaperE: 2.904, PaperAvgDeg: 4.0, PaperMaxDeg: 5,
+		Class: "2D 5-pt mesh",
+		build: func(scale float64) *graph.CSR {
+			side := dim2(0.727e6, scale)
+			return gen.Laplace2D(side, side)
+		},
+	},
+}
+
+// bodyy5 appears only in Table VI.
+var bodyy5 = Spec{
+	Name: "bodyy5", PaperV: 0.0355, PaperE: 0.28, PaperAvgDeg: 7.9, PaperMaxDeg: 8,
+	Class: "2D 9-pt-ish structural mesh",
+	build: func(scale float64) *graph.CSR {
+		side := dim2(0.0355e6, scale)
+		return gen.RandomFEM(side, side, 1, 7.9, 0xB0D5)
+	},
+}
+
+// Suite returns the 17 Table II specs in paper order.
+func Suite() []Spec { return append([]Spec(nil), specs...) }
+
+// Names returns the suite matrix names in paper order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Get returns the spec with the given name (including bodyy5).
+func Get(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	if name == bodyy5.Name {
+		return bodyy5, nil
+	}
+	return Spec{}, fmt.Errorf("matrices: unknown matrix %q", name)
+}
+
+// Table6Names lists the five systems of the paper's Table VI.
+func Table6Names() []string {
+	return []string{"bodyy5", "Elasticity3D_60", "Geo_1438", "Laplace3D_100", "Serena"}
+}

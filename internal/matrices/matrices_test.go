@@ -1,0 +1,131 @@
+package matrices
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/mis"
+)
+
+func TestSuiteHas17PaperRows(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 17 {
+		t.Fatalf("suite has %d entries, want 17", len(suite))
+	}
+	names := Names()
+	want := []string{
+		"af_shell7", "apache2", "audikw_1", "ecology2", "Elasticity3D_60",
+		"Emilia_923", "Fault_639", "Geo_1438", "Hook_1498", "Laplace3D_100",
+		"ldoor", "parabolic_fem", "PFlow_742", "Serena", "StocF-1465",
+		"thermal2", "tmt_sym",
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("row %d is %q, want %q (paper order)", i, names[i], w)
+		}
+	}
+}
+
+func TestGetKnownAndUnknown(t *testing.T) {
+	if _, err := Get("Serena"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("bodyy5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("no_such_matrix"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestSurrogatesValidateAndMatchDegrees(t *testing.T) {
+	for _, s := range Suite() {
+		g := s.Build(0.01)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if g.N == 0 {
+			t.Fatalf("%s: empty surrogate", s.Name)
+		}
+		// Average degree within 40% of the paper's (structure class
+		// match; exact equality is impossible for irregular surrogates).
+		ratio := g.AvgDegree() / s.PaperAvgDeg
+		if ratio < 0.6 || ratio > 1.4 {
+			t.Fatalf("%s: surrogate avg degree %.2f vs paper %.2f (ratio %.2f)",
+				s.Name, g.AvgDegree(), s.PaperAvgDeg, ratio)
+		}
+	}
+}
+
+func TestScaleControlsSize(t *testing.T) {
+	spec, _ := Get("Laplace3D_100")
+	small := spec.Build(0.002)
+	big := spec.Build(0.02)
+	if big.N <= small.N {
+		t.Fatalf("scale not monotone: %d vs %d", small.N, big.N)
+	}
+	// 10x the scale should give roughly 10x the vertices (cubing of the
+	// rounded side makes this approximate).
+	r := float64(big.N) / float64(small.N)
+	if r < 3 || r > 30 {
+		t.Fatalf("scale ratio %f way off", r)
+	}
+}
+
+func TestSurrogatesDeterministic(t *testing.T) {
+	for _, name := range []string{"Hook_1498", "ecology2"} {
+		spec, _ := Get(name)
+		a := spec.Build(0.005)
+		b := spec.Build(0.005)
+		if a.N != b.N || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: surrogate not deterministic", name)
+		}
+	}
+}
+
+func TestMatrixIsSPDish(t *testing.T) {
+	spec, _ := Get("bodyy5")
+	a := spec.Matrix(0.05)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strict diagonal dominance.
+	d := a.Diagonal()
+	for i := 0; i < a.Rows; i++ {
+		off := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.Col[p]) != i {
+				off += math.Abs(a.Val[p])
+			}
+		}
+		if d[i] <= off {
+			t.Fatalf("row %d not dominant", i)
+		}
+	}
+}
+
+func TestEcology2MaxDegree3(t *testing.T) {
+	spec, _ := Get("ecology2")
+	g := spec.Build(0.01)
+	if g.MaxDegree() > 3 {
+		t.Fatalf("honeycomb surrogate max degree %d, want <= 3 (paper: 3)", g.MaxDegree())
+	}
+}
+
+func TestTable6NamesResolvable(t *testing.T) {
+	names := Table6Names()
+	if len(names) != 5 {
+		t.Fatalf("Table VI has %d systems, want 5", len(names))
+	}
+	for _, n := range names {
+		spec, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := spec.Build(0.005)
+		res := mis.MIS2(g, mis.Options{})
+		if err := mis.CheckMIS2(g, res.InSet); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Bell/Dalton/Olson general MIS-k algorithm (SISC 2012), the algorithm
+// implemented by the CUSP and ViennaCL libraries and the baseline of the
+// paper's Figure 2 ablation and Figures 6/7 comparisons.
+//
+// Unlike Algorithm 1 it:
+//   - stores uncompressed 3-field tuples (status, random, id) — three
+//     arrays per tuple, three tuples per vertex (paper §V-C);
+//   - processes every vertex in every iteration (no worklists, §V-B);
+//   - chooses random priorities once, before the first iteration (§V-A),
+//     unless rehash is set (the "+ Random priority" ablation step).
+package mis
+
+import (
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/par"
+)
+
+// Unpacked statuses, ordered so lexicographic tuple comparison matches the
+// IN < UNDECIDED < OUT convention of Algorithm 1.
+const (
+	statIn  uint8 = 0
+	statUnd uint8 = 1
+	statOut uint8 = 2
+)
+
+// triple is a struct-of-arrays tuple store, deliberately uncompressed to
+// reproduce the baseline's memory traffic.
+type triple struct {
+	stat []uint8
+	rnd  []uint64
+	id   []int32
+}
+
+func newTriple(n int) triple {
+	return triple{stat: make([]uint8, n), rnd: make([]uint64, n), id: make([]int32, n)}
+}
+
+// less compares tuple i of a with tuple j of b lexicographically.
+func tupleLess(a triple, i int32, b triple, j int32) bool {
+	if a.stat[i] != b.stat[j] {
+		return a.stat[i] < b.stat[j]
+	}
+	if a.rnd[i] != b.rnd[j] {
+		return a.rnd[i] < b.rnd[j]
+	}
+	return a.id[i] < b.id[j]
+}
+
+func tupleAssign(dst triple, i int32, src triple, j int32) {
+	dst.stat[i] = src.stat[j]
+	dst.rnd[i] = src.rnd[j]
+	dst.id[i] = src.id[j]
+}
+
+// BellOptions configures the baseline algorithm.
+type BellOptions struct {
+	// K is the independence distance (2 for MIS-2). 0 defaults to 2.
+	K int
+	// Rehash assigns new priorities every iteration instead of once
+	// (the "+ Random priority" ablation configuration).
+	Rehash bool
+	// Hash selects the priority hash (XorStar by default).
+	Hash hash.Kind
+	// Salt perturbs the priority stream, modeling independent library
+	// implementations (CUSP vs ViennaCL use different RNGs; Table IV
+	// compares their result quality).
+	Salt uint64
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+}
+
+// BellMISK computes a distance-K maximal independent set with the
+// Bell/Dalton/Olson propagation algorithm. Deterministic.
+func BellMISK(g *graph.CSR, opt BellOptions) Result {
+	k := opt.K
+	if k <= 0 {
+		k = 2
+	}
+	rt := par.New(opt.Threads)
+	n := g.N
+	if n == 0 {
+		return Result{InSet: []int32{}}
+	}
+	// Three tuple stores, as in the reference implementation: the vertex's
+	// own tuple S and two ping-pong propagation buffers T, That.
+	s := newTriple(n)
+	t := newTriple(n)
+	that := newTriple(n)
+
+	salt := opt.Salt
+	prio := func(iter, v uint64) uint64 {
+		p := opt.Hash.Priority(iter, v)
+		if salt != 0 {
+			p = hash.Xorshift64Star(p ^ salt)
+		}
+		return p
+	}
+	rt.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s.stat[v] = statUnd
+			s.rnd[v] = prio(0, uint64(v))
+			s.id[v] = int32(v)
+		}
+	})
+
+	iter := 0
+	for {
+		if opt.Rehash && iter > 0 {
+			it64 := uint64(iter)
+			rt.For(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if s.stat[v] == statUnd {
+						s.rnd[v] = prio(it64, uint64(v))
+					}
+				}
+			})
+		}
+		// T <- S
+		rt.For(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				tupleAssign(t, int32(v), s, int32(v))
+			}
+		})
+		// k rounds of min-propagation over closed neighborhoods:
+		// after round r, T_v is the minimum tuple within radius r.
+		for round := 0; round < k; round++ {
+			rt.For(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					best := int32(v)
+					bestStore := t
+					for _, w := range g.Neighbors(int32(v)) {
+						if tupleLess(t, w, bestStore, best) {
+							best = w
+						}
+					}
+					tupleAssign(that, int32(v), t, best)
+				}
+			})
+			t, that = that, t
+		}
+		// Decide: v joins the MIS if its own undecided tuple is the
+		// radius-k minimum; v leaves if an IN vertex is within radius k.
+		changed := par.ReduceSum[int64](rt, n, func(v int) int64 {
+			if s.stat[v] != statUnd {
+				return 0
+			}
+			if t.stat[v] == statUnd && t.id[v] == int32(v) && t.rnd[v] == s.rnd[v] {
+				s.stat[v] = statIn
+				return 1
+			}
+			if t.stat[v] == statIn {
+				s.stat[v] = statOut
+				return 1
+			}
+			return 0
+		})
+		iter++
+		if changed == 0 || !anyUndecided(rt, s.stat) {
+			break
+		}
+	}
+
+	in := make([]int32, 0, n/16+1)
+	for v := 0; v < n; v++ {
+		if s.stat[v] == statIn {
+			in = append(in, int32(v))
+		}
+	}
+	return Result{InSet: in, Iterations: iter}
+}
+
+func anyUndecided(rt *par.Runtime, stat []uint8) bool {
+	return par.ReduceSum[int64](rt, len(stat), func(v int) int64 {
+		if stat[v] == statUnd {
+			return 1
+		}
+		return 0
+	}) > 0
+}

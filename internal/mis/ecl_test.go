@@ -1,0 +1,78 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mis2go/internal/hash"
+)
+
+func TestECLMIS1Valid(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%150)
+		g := randomGraph(n, 3*n, seed)
+		res := ECLMIS1(g, 0)
+		return CheckMIS1(g, res.InSet) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECLMIS1DeterministicAcrossThreads(t *testing.T) {
+	g := randomGraph(500, 2500, 19)
+	ref := ECLMIS1(g, 1)
+	for _, th := range []int{2, 8, 0} {
+		got := ECLMIS1(g, th)
+		if !setsEqual(ref.InSet, got.InSet) {
+			t.Fatalf("threads=%d: result differs", th)
+		}
+	}
+}
+
+func TestECLDegreeBiasGrowsTheSet(t *testing.T) {
+	// The point of ECL-MIS's degree-aware priorities: a larger MIS-1 than
+	// uniform random priorities on degree-skewed graphs. Compare against
+	// Luby on several star-of-cliques-like irregular graphs.
+	totalECL, totalLuby := 0, 0
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randomGraph(400, 2400, seed)
+		totalECL += len(ECLMIS1(g, 0).InSet)
+		totalLuby += len(LubyMIS1(g, hash.XorStar, 0).InSet)
+	}
+	if totalECL < totalLuby {
+		t.Fatalf("ECL set total %d smaller than Luby %d; degree bias not effective", totalECL, totalLuby)
+	}
+}
+
+func TestECLMIS1SmallShapes(t *testing.T) {
+	if got := len(ECLMIS1(fig1Graph(), 0).InSet); got == 0 {
+		t.Fatal("empty MIS on example graph")
+	}
+	empty := ECLMIS1(randomGraph(1, 0, 1), 0)
+	if len(empty.InSet) != 1 {
+		t.Fatal("single vertex must be in the MIS")
+	}
+	star := grid2D(1, 1)
+	if len(ECLMIS1(star, 0).InSet) != 1 {
+		t.Fatal("singleton grid wrong")
+	}
+}
+
+func TestECLPriorityClassesOrdered(t *testing.T) {
+	// Lower degree must map to a strictly higher priority class.
+	maxDeg := 64
+	lowDeg := eclPriority(1, 1, maxDeg) >> 28
+	highDeg := eclPriority(2, maxDeg, maxDeg) >> 28
+	if lowDeg <= highDeg {
+		t.Fatalf("degree bias inverted: class(low)=%d class(high)=%d", lowDeg, highDeg)
+	}
+	// Priorities are odd (undecided bit) and never collide with the
+	// decided sentinels.
+	for v := int32(0); v < 1000; v++ {
+		p := eclPriority(v, int(v)%17, 16)
+		if p&1 != 1 || p == eclIn || p == eclOut {
+			t.Fatalf("bad packed priority %x", p)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package mis implements the paper's core contribution: the parallel,
+// deterministic distance-2 maximal independent set algorithm (Algorithm 1)
+// with its four optimizations, the Bell/Dalton/Olson baseline it is
+// compared against (the algorithm implemented by CUSP and ViennaCL),
+// Luby's MIS-1, and validity checkers.
+package mis
+
+import (
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/par"
+)
+
+// MinSIMDDegree is the average-degree threshold above which the unrolled
+// ("SIMD") inner loops are used, matching the paper's GPU heuristic of 16.
+const MinSIMDDegree = 16.0
+
+// Options configures MIS2. The zero value selects the production
+// configuration used for all paper experiments outside Table I:
+// xorshift* per-iteration priorities, all optimizations on, GOMAXPROCS
+// workers.
+type Options struct {
+	// Hash selects the priority scheme (Table I): XorStar (default), Xor,
+	// or Fixed.
+	Hash hash.Kind
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// NoSIMD disables the unrolled inner loops regardless of degree.
+	NoSIMD bool
+	// CollectStats records per-iteration worklist sizes in
+	// Result.Worklist1/Worklist2 (diagnostics for the §V-B worklist
+	// optimization; small overhead).
+	CollectStats bool
+}
+
+// Result reports the outcome of an MIS-2 computation.
+type Result struct {
+	// InSet lists the vertices in the MIS-2, ascending.
+	InSet []int32
+	// Iterations is the number of Refresh/Decide rounds executed
+	// (the loop trip count of Algorithm 1, as counted in Tables I and III).
+	Iterations int
+	// Worklist1 and Worklist2 hold the worklist sizes entering each
+	// iteration when Options.CollectStats is set: Worklist1[i] counts
+	// undecided vertices, Worklist2[i] vertices whose column status can
+	// still change. Both are nil otherwise.
+	Worklist1, Worklist2 []int
+}
+
+// MIS2 computes a distance-2 maximal independent set of g using
+// Algorithm 1 with all four optimizations (per-iteration xorshift*
+// priorities, dual worklists compacted by parallel prefix sums, packed
+// status tuples, and unrolled inner loops on high-degree graphs).
+//
+// The result is deterministic: for a given graph and Options.Hash it is
+// identical for every thread count and across runs.
+func MIS2(g *graph.CSR, opt Options) Result {
+	rt := par.New(opt.Threads)
+	simd := !opt.NoSIMD && g.AvgDegree() >= MinSIMDDegree
+	return mis2Packed(g, opt.Hash, simd, opt.CollectStats, rt)
+}
+
+// mis2Packed is Algorithm 1 with packed tuples and worklists.
+// When simd is true the neighbor reductions use 4-way unrolled loops
+// (this repository's substitute for warp-level SIMD; see DESIGN.md).
+func mis2Packed(g *graph.CSR, kind hash.Kind, simd, collectStats bool, rt *par.Runtime) Result {
+	n := g.N
+	if n == 0 {
+		return Result{InSet: []int32{}}
+	}
+	var stats1, stats2 []int
+	c := newCodec(n)
+	t := make([]uint64, n) // row status  T_v
+	m := make([]uint64, n) // col status  M_v
+	wl1 := make([]int32, n)
+	wl2 := make([]int32, n)
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wl1[i] = int32(i)
+			wl2[i] = int32(i)
+		}
+	})
+	buf1 := make([]int32, n)
+	buf2 := make([]int32, n)
+
+	iter := 0
+	for len(wl1) > 0 {
+		if collectStats {
+			stats1 = append(stats1, len(wl1))
+			stats2 = append(stats2, len(wl2))
+		}
+		it64 := uint64(iter)
+
+		// Refresh Row: assign fresh priorities to undecided vertices.
+		rt.For(len(wl1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := wl1[i]
+				t[v] = c.pack(kind.Priority(it64, uint64(v)), v)
+			}
+		})
+
+		// Refresh Column: M_v = min T_w over the closed neighborhood of v;
+		// a minimum of IN means v is distance-1 from an IN vertex, which
+		// permanently forces M_v = OUT.
+		if simd {
+			rt.For(len(wl2), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := wl2[i]
+					mv := minClosedUnrolled(g, t, v)
+					if mv == tupleIn {
+						mv = tupleOut
+					}
+					m[v] = mv
+				}
+			})
+		} else {
+			rt.For(len(wl2), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := wl2[i]
+					mv := t[v]
+					for _, w := range g.Neighbors(v) {
+						if tw := t[w]; tw < mv {
+							mv = tw
+						}
+					}
+					if mv == tupleIn {
+						mv = tupleOut
+					}
+					m[v] = mv
+				}
+			})
+		}
+
+		// Decide Set: v is OUT if any closed neighbor's column status is
+		// OUT (an IN vertex within distance 2); v is IN if its own tuple
+		// is the minimum everywhere in its closed neighborhood, i.e. the
+		// minimum of its radius-2 ball.
+		if simd {
+			rt.For(len(wl1), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := wl1[i]
+					decideUnrolled(g, t, m, v)
+				}
+			})
+		} else {
+			rt.For(len(wl1), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := wl1[i]
+					tv := t[v]
+					anyOut := m[v] == tupleOut
+					allEq := m[v] == tv
+					if !anyOut {
+						for _, w := range g.Neighbors(v) {
+							mw := m[w]
+							if mw == tupleOut {
+								anyOut = true
+								break
+							}
+							if mw != tv {
+								allEq = false
+							}
+						}
+					}
+					if anyOut {
+						t[v] = tupleOut
+					} else if allEq {
+						t[v] = tupleIn
+					}
+				}
+			})
+		}
+
+		// Compact worklists with order-preserving parallel filters
+		// (prefix-sum based, deterministic). The filtered slice aliases
+		// the spare buffer; the old worklist backing becomes the spare.
+		next1 := par.Filter(rt, wl1, buf1, func(v int32) bool { return isUndecided(t[v]) })
+		wl1, buf1 = next1, wl1[:n]
+		next2 := par.Filter(rt, wl2, buf2, func(v int32) bool { return m[v] != tupleOut })
+		wl2, buf2 = next2, wl2[:n]
+		iter++
+	}
+
+	return Result{InSet: collectIn(rt, t, n), Iterations: iter, Worklist1: stats1, Worklist2: stats2}
+}
+
+// collectIn gathers the vertices whose row status is IN, ascending, with
+// a block-counted two-pass scan (no scratch arrays proportional to n
+// beyond the result).
+func collectIn(rt *par.Runtime, t []uint64, n int) []int32 {
+	blocks := rt.Blocks(n)
+	nb := len(blocks) - 1
+	counts := make([]int, nb)
+	rt.ForBlocks(nb, func(b int) {
+		c := 0
+		for v := blocks[b]; v < blocks[b+1]; v++ {
+			if t[v] == tupleIn {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	offsets := make([]int, nb+1)
+	total := 0
+	for b := 0; b < nb; b++ {
+		offsets[b] = total
+		total += counts[b]
+	}
+	offsets[nb] = total
+	out := make([]int32, total)
+	rt.ForBlocks(nb, func(b int) {
+		k := offsets[b]
+		for v := blocks[b]; v < blocks[b+1]; v++ {
+			if t[v] == tupleIn {
+				out[k] = int32(v)
+				k++
+			}
+		}
+	})
+	return out
+}
+
+// minClosedUnrolled computes min(T_w) over the closed neighborhood of v
+// with a 4-way unrolled loop, the CPU analogue of the paper's warp-level
+// SIMD reduction over the contiguous CRS adjacency list.
+func minClosedUnrolled(g *graph.CSR, t []uint64, v int32) uint64 {
+	adj := g.Neighbors(v)
+	m0, m1, m2, m3 := t[v], tupleOut, tupleOut, tupleOut
+	i := 0
+	for ; i+4 <= len(adj); i += 4 {
+		if x := t[adj[i]]; x < m0 {
+			m0 = x
+		}
+		if x := t[adj[i+1]]; x < m1 {
+			m1 = x
+		}
+		if x := t[adj[i+2]]; x < m2 {
+			m2 = x
+		}
+		if x := t[adj[i+3]]; x < m3 {
+			m3 = x
+		}
+	}
+	for ; i < len(adj); i++ {
+		if x := t[adj[i]]; x < m0 {
+			m0 = x
+		}
+	}
+	if m1 < m0 {
+		m0 = m1
+	}
+	if m3 < m2 {
+		m2 = m3
+	}
+	if m2 < m0 {
+		m0 = m2
+	}
+	return m0
+}
+
+// decideUnrolled applies the Decide Set rules for v using 4-way unrolled
+// scans for the exists-OUT and forall-equal reductions.
+func decideUnrolled(g *graph.CSR, t, m []uint64, v int32) {
+	tv := t[v]
+	mv := m[v]
+	if mv == tupleOut {
+		t[v] = tupleOut
+		return
+	}
+	adj := g.Neighbors(v)
+	anyOut := false
+	allEq := mv == tv
+	i := 0
+	for ; i+4 <= len(adj); i += 4 {
+		a, b, c, d := m[adj[i]], m[adj[i+1]], m[adj[i+2]], m[adj[i+3]]
+		if a == tupleOut || b == tupleOut || c == tupleOut || d == tupleOut {
+			anyOut = true
+			break
+		}
+		if a != tv || b != tv || c != tv || d != tv {
+			allEq = false
+		}
+	}
+	if !anyOut {
+		for ; i < len(adj); i++ {
+			mw := m[adj[i]]
+			if mw == tupleOut {
+				anyOut = true
+				break
+			}
+			if mw != tv {
+				allEq = false
+			}
+		}
+	}
+	if anyOut {
+		t[v] = tupleOut
+	} else if allEq {
+		t[v] = tupleIn
+	}
+}

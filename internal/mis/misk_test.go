@@ -1,0 +1,103 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mis2go/internal/graph"
+)
+
+func TestCheckMISKAgreesWithSpecializedCheckers(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%80)
+		g := randomGraph(n, 3*n, seed)
+		r1 := LubyMIS1(g, 0, 0)
+		if (CheckMIS1(g, r1.InSet) == nil) != (CheckMISK(g, r1.InSet, 1) == nil) {
+			return false
+		}
+		r2 := MIS2(g, Options{})
+		if (CheckMIS2(g, r2.InSet) == nil) != (CheckMISK(g, r2.InSet, 2) == nil) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMISKOnPath(t *testing.T) {
+	g := pathGraph(10)
+	// {0, 4, 8} is a valid MIS-3 on a 10-path: gaps of 4 > 3, and every
+	// vertex within 3 of a member.
+	if err := CheckMISK(g, []int32{0, 4, 8}, 3); err != nil {
+		t.Fatalf("valid MIS-3 rejected: %v", err)
+	}
+	// {0, 3} violates distance-3 independence.
+	if CheckMISK(g, []int32{0, 3, 9}, 3) == nil {
+		t.Fatal("distance-3 violation not caught")
+	}
+	// {0} is not maximal at k=3 (vertex 9 is 9 away).
+	if CheckMISK(g, []int32{0}, 3) == nil {
+		t.Fatal("non-maximality not caught")
+	}
+	// Bad inputs.
+	if CheckMISK(g, []int32{0}, 0) == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if CheckMISK(g, []int32{-1}, 2) == nil || CheckMISK(g, []int32{0, 0}, 2) == nil {
+		t.Fatal("bad members not caught")
+	}
+}
+
+func TestBellGeneralKValidForAllK(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%80)
+		g := randomGraph(n, 3*n, seed)
+		for k := 1; k <= 4; k++ {
+			res := BellMISK(g, BellOptions{K: k, Rehash: true})
+			if CheckMISK(g, res.InSet, k) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBellSaltChangesResultButStaysValid(t *testing.T) {
+	g := grid2D(25, 25)
+	a := BellMISK(g, BellOptions{K: 2})
+	b := BellMISK(g, BellOptions{K: 2, Salt: 12345})
+	if err := CheckMIS2(g, b.InSet); err != nil {
+		t.Fatal(err)
+	}
+	if setsEqual(a.InSet, b.InSet) {
+		t.Fatal("salt had no effect (independent RNG streams expected)")
+	}
+	// Sizes should be close (Table IV's similar-quality claim).
+	ra := float64(len(a.InSet)) / float64(len(b.InSet))
+	if ra < 0.8 || ra > 1.25 {
+		t.Fatalf("salted size ratio %f", ra)
+	}
+}
+
+func TestMISKOnDisconnectedGraph(t *testing.T) {
+	// Two components: each must get at least one member at every k.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	for i := 6; i < 10; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	g := graph.FromEdges(11, edges)
+	for k := 1; k <= 3; k++ {
+		res := BellMISK(g, BellOptions{K: k, Rehash: true})
+		if err := CheckMISK(g, res.InSet, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mis
+
+import (
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/hash"
+)
+
+// Golden regression tests: the algorithms are deterministic, so exact
+// outputs on fixed inputs are stable contracts. A change to any of these
+// numbers means the priority sequence, packing, or phase logic changed —
+// which silently invalidates every recorded experiment. Update them only
+// deliberately, together with EXPERIMENTS.md.
+
+func TestGoldenLaplace3D20(t *testing.T) {
+	g := gen.Laplace3D(20, 20, 20)
+	res := MIS2(g, Options{})
+	if len(res.InSet) != 771 || res.Iterations != 9 {
+		t.Fatalf("golden drift: size=%d iters=%d (want 771, 9)", len(res.InSet), res.Iterations)
+	}
+	// First and last members pin the exact set, not just its size.
+	if res.InSet[0] != 0 || res.InSet[len(res.InSet)-1] != 7999 {
+		t.Fatalf("golden drift: first=%d last=%d", res.InSet[0], res.InSet[len(res.InSet)-1])
+	}
+}
+
+func TestGoldenHashKindsLaplace2D(t *testing.T) {
+	g := gen.Laplace2D(50, 50)
+	got := map[hash.Kind][2]int{}
+	for _, k := range []hash.Kind{hash.XorStar, hash.Xor, hash.Fixed} {
+		r := MIS2(g, Options{Hash: k})
+		got[k] = [2]int{len(r.InSet), r.Iterations}
+	}
+	want := map[hash.Kind][2]int{
+		hash.XorStar: {353, 6},
+		hash.Xor:     {377, 7},
+		hash.Fixed:   {363, 9},
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("golden drift for %v: got %v want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestGoldenBellBaseline(t *testing.T) {
+	g := gen.Laplace2D(40, 40)
+	r := BellMISK(g, BellOptions{K: 2})
+	if len(r.InSet) != 233 || r.Iterations != 8 {
+		t.Fatalf("golden drift: size=%d iters=%d (want 233, 8)", len(r.InSet), r.Iterations)
+	}
+}
+
+func TestGoldenLuby(t *testing.T) {
+	g := gen.Laplace2D(40, 40)
+	r := LubyMIS1(g, hash.XorStar, 0)
+	if len(r.InSet) != 589 || r.Iterations != 5 {
+		t.Fatalf("golden drift: size=%d iters=%d (want 589, 5)", len(r.InSet), r.Iterations)
+	}
+}
+
+func TestGoldenECL(t *testing.T) {
+	g := gen.Laplace2D(40, 40)
+	r := ECLMIS1(g, 0)
+	if len(r.InSet) != 617 {
+		t.Fatalf("golden drift: size=%d (want 617)", len(r.InSet))
+	}
+}

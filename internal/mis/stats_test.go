@@ -1,0 +1,83 @@
+package mis
+
+import (
+	"testing"
+
+	"mis2go/internal/hash"
+)
+
+func TestCollectStatsShape(t *testing.T) {
+	g := grid2D(40, 40)
+	res := MIS2(g, Options{CollectStats: true})
+	if len(res.Worklist1) != res.Iterations || len(res.Worklist2) != res.Iterations {
+		t.Fatalf("stats length %d/%d, want %d", len(res.Worklist1), len(res.Worklist2), res.Iterations)
+	}
+	// Iteration 0 sees the full vertex set in both worklists.
+	if res.Worklist1[0] != g.N || res.Worklist2[0] != g.N {
+		t.Fatalf("initial worklists %d/%d, want %d", res.Worklist1[0], res.Worklist2[0], g.N)
+	}
+	// Worklists shrink monotonically: a decided vertex never returns, and
+	// M=OUT is permanent.
+	for i := 1; i < res.Iterations; i++ {
+		if res.Worklist1[i] > res.Worklist1[i-1] {
+			t.Fatalf("worklist1 grew at iteration %d: %v", i, res.Worklist1)
+		}
+		if res.Worklist2[i] > res.Worklist2[i-1] {
+			t.Fatalf("worklist2 grew at iteration %d: %v", i, res.Worklist2)
+		}
+	}
+	// worklist1 (undecided) is always a subset of worklist2 candidates:
+	// an undecided vertex cannot be adjacent to an IN vertex.
+	for i := range res.Worklist1 {
+		if res.Worklist1[i] > res.Worklist2[i] {
+			t.Fatalf("worklist1 %d exceeds worklist2 %d at iteration %d",
+				res.Worklist1[i], res.Worklist2[i], i)
+		}
+	}
+}
+
+func TestCollectStatsOffByDefault(t *testing.T) {
+	res := MIS2(grid2D(10, 10), Options{})
+	if res.Worklist1 != nil || res.Worklist2 != nil {
+		t.Fatal("stats collected without CollectStats")
+	}
+}
+
+func TestCollectStatsGeometricDecay(t *testing.T) {
+	// The §V-B argument: most vertices decide in the first iterations, so
+	// worklist-driven runs do far less total work than full sweeps.
+	// Check the sum of worklist sizes is well below iterations * n.
+	g := grid2D(60, 60)
+	res := MIS2(g, Options{CollectStats: true})
+	total := 0
+	for _, w := range res.Worklist1 {
+		total += w
+	}
+	full := res.Iterations * g.N
+	if 2*total >= full {
+		t.Fatalf("worklist work %d not well below full-sweep work %d", total, full)
+	}
+}
+
+func TestCollectStatsMatchesPlainRun(t *testing.T) {
+	g := randomGraph(300, 1200, 13)
+	a := MIS2(g, Options{})
+	b := MIS2(g, Options{CollectStats: true})
+	if !setsEqual(a.InSet, b.InSet) || a.Iterations != b.Iterations {
+		t.Fatal("stats collection changed the result")
+	}
+}
+
+func TestStatsAcrossHashKinds(t *testing.T) {
+	g := grid2D(30, 30)
+	for _, k := range []hash.Kind{hash.XorStar, hash.Xor, hash.Fixed} {
+		res := MIS2(g, Options{Hash: k, CollectStats: true})
+		if len(res.Worklist1) == 0 {
+			t.Fatalf("%v: no stats", k)
+		}
+		last := res.Worklist1[len(res.Worklist1)-1]
+		if last <= 0 {
+			t.Fatalf("%v: final iteration had empty worklist %d", k, last)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Packed status tuples (paper §V-C).
+//
+// Bell's algorithm stores a 3-element tuple (status, random priority,
+// vertex id) per vertex. Algorithm 1 compresses the tuple into a single
+// unsigned integer:
+//
+//	IN  = 0
+//	OUT = all ones
+//	undecided = (priority << b) | (id + 1),  b = ceil(log2(|V| + 2))
+//
+// The ordering IN < undecided < OUT is preserved by construction, the id
+// in the low bits acts as a tiebreak (tuples are unique), and equation (1)
+// of the paper shows no undecided value can collide with IN or OUT.
+package mis
+
+import "math/bits"
+
+// tupleIn and tupleOut are the special packed values for decided vertices.
+const (
+	tupleIn  uint64 = 0
+	tupleOut uint64 = ^uint64(0)
+)
+
+// codec packs and unpacks status tuples for a graph with n vertices.
+type codec struct {
+	idBits uint // b = ceil(log2(n+2))
+	idMask uint64
+}
+
+func newCodec(n int) codec {
+	b := uint(bits.Len64(uint64(n) + 1)) // 2^b >= n+2 (see DESIGN.md / paper eq. 1)
+	return codec{idBits: b, idMask: (uint64(1) << b) - 1}
+}
+
+// pack builds the undecided tuple for vertex v with the given hash value.
+// The priority occupies the top 64-b bits; the vertex id + 1 the low b bits.
+func (c codec) pack(priority uint64, v int32) uint64 {
+	return (priority << c.idBits) | (uint64(v) + 1)
+}
+
+// isUndecided reports whether t is neither IN nor OUT.
+func isUndecided(t uint64) bool { return t != tupleIn && t != tupleOut }
+
+// id recovers the vertex id from an undecided packed tuple.
+func (c codec) id(t uint64) int32 { return int32(t&c.idMask) - 1 }
+
+// priority recovers the (truncated) priority from an undecided tuple.
+func (c codec) priority(t uint64) uint64 { return t >> c.idBits }

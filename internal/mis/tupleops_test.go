@@ -1,0 +1,85 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkTriple builds a 3-slot triple store for ordering tests.
+func mkTriple(stats []uint8, rnds []uint64, ids []int32) triple {
+	return triple{stat: stats, rnd: rnds, id: ids}
+}
+
+func TestTupleLessLexicographic(t *testing.T) {
+	tr := mkTriple(
+		[]uint8{statIn, statUnd, statUnd, statOut},
+		[]uint64{99, 5, 5, 0},
+		[]int32{3, 1, 2, 0},
+	)
+	// IN < undecided regardless of rnd.
+	if !tupleLess(tr, 0, tr, 1) {
+		t.Fatal("IN must order below undecided")
+	}
+	// undecided < OUT regardless of rnd.
+	if !tupleLess(tr, 2, tr, 3) {
+		t.Fatal("undecided must order below OUT")
+	}
+	// Equal stat and rnd: id breaks the tie.
+	if !tupleLess(tr, 1, tr, 2) || tupleLess(tr, 2, tr, 1) {
+		t.Fatal("id tiebreak wrong")
+	}
+	// Irreflexive.
+	if tupleLess(tr, 1, tr, 1) {
+		t.Fatal("tupleLess not irreflexive")
+	}
+}
+
+func TestTupleLessTotalOrderProperty(t *testing.T) {
+	// Totality and antisymmetry over random tuples.
+	f := func(stats []uint8, rnds []uint64, ids []int32) bool {
+		n := len(stats)
+		if len(rnds) < n {
+			n = len(rnds)
+		}
+		if len(ids) < n {
+			n = len(ids)
+		}
+		if n < 2 {
+			return true
+		}
+		tr := mkTriple(stats[:n], rnds[:n], ids[:n])
+		for i := int32(0); int(i) < n; i++ {
+			for j := int32(0); int(j) < n; j++ {
+				less := tupleLess(tr, i, tr, j)
+				greater := tupleLess(tr, j, tr, i)
+				equal := tr.stat[i] == tr.stat[j] && tr.rnd[i] == tr.rnd[j] && tr.id[i] == tr.id[j]
+				if equal && (less || greater) {
+					return false
+				}
+				if !equal && less == greater {
+					return false // exactly one must hold
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleAssignCopiesAllFields(t *testing.T) {
+	src := mkTriple([]uint8{statOut}, []uint64{42}, []int32{7})
+	dst := newTriple(1)
+	tupleAssign(dst, 0, src, 0)
+	if dst.stat[0] != statOut || dst.rnd[0] != 42 || dst.id[0] != 7 {
+		t.Fatalf("assign lost fields: %+v", dst)
+	}
+}
+
+func TestStatOrderingConstants(t *testing.T) {
+	// The unpacked engine's correctness depends on this ordering.
+	if !(statIn < statUnd && statUnd < statOut) {
+		t.Fatal("status ordering broken")
+	}
+}

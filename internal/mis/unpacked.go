@@ -1,0 +1,114 @@
+// Unpacked-tuple variant of Algorithm 1: identical structure (worklists,
+// per-iteration priorities, k=2-specialized column minimum) but with the
+// baseline's 3-field tuple representation instead of packed integers.
+// This is the "+ Worklists" configuration of the Figure 2 ablation: it
+// isolates the benefit of packed status tuples, which is added next.
+package mis
+
+import (
+	"mis2go/internal/graph"
+	"mis2go/internal/hash"
+	"mis2go/internal/par"
+)
+
+// mis2Unpacked runs Algorithm 1 with struct-of-arrays tuples.
+func mis2Unpacked(g *graph.CSR, kind hash.Kind, rt *par.Runtime) Result {
+	n := g.N
+	if n == 0 {
+		return Result{InSet: []int32{}}
+	}
+	// Truncate priorities exactly as the packed codec does, so that the
+	// unpacked and packed rungs of the ablation produce bit-identical
+	// result sets (only their speed differs).
+	prioMask := ^uint64(0) >> newCodec(n).idBits
+	t := newTriple(n)
+	m := newTriple(n)
+	wl1 := make([]int32, n)
+	wl2 := make([]int32, n)
+	for i := range wl1 {
+		wl1[i] = int32(i)
+		wl2[i] = int32(i)
+	}
+	buf1 := make([]int32, n)
+	buf2 := make([]int32, n)
+
+	rt.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			t.stat[v] = statUnd
+			t.id[v] = int32(v)
+		}
+	})
+
+	iter := 0
+	for len(wl1) > 0 {
+		it64 := uint64(iter)
+
+		// Refresh Row.
+		rt.For(len(wl1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := wl1[i]
+				t.rnd[v] = kind.Priority(it64, uint64(v)) & prioMask
+			}
+		})
+
+		// Refresh Column: minimum tuple over closed neighborhood;
+		// IN minima freeze to OUT.
+		rt.For(len(wl2), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := wl2[i]
+				best := v
+				for _, w := range g.Neighbors(v) {
+					if tupleLess(t, w, t, best) {
+						best = w
+					}
+				}
+				if t.stat[best] == statIn {
+					m.stat[v] = statOut
+					m.rnd[v] = ^uint64(0)
+					m.id[v] = int32(n) // sentinel greater than any id
+				} else {
+					tupleAssign(m, v, t, best)
+				}
+			}
+		})
+
+		// Decide Set.
+		rt.For(len(wl1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := wl1[i]
+				anyOut := m.stat[v] == statOut
+				allEq := !anyOut && m.id[v] == v && m.rnd[v] == t.rnd[v] && m.stat[v] == statUnd
+				if !anyOut {
+					for _, w := range g.Neighbors(v) {
+						if m.stat[w] == statOut {
+							anyOut = true
+							break
+						}
+						if m.id[w] != v || m.rnd[w] != t.rnd[v] || m.stat[w] != statUnd {
+							allEq = false
+						}
+					}
+				}
+				if anyOut {
+					t.stat[v] = statOut
+				} else if allEq {
+					t.stat[v] = statIn
+				}
+			}
+		})
+
+		next1 := par.Filter(rt, wl1, buf1, func(v int32) bool { return t.stat[v] == statUnd })
+		wl1, buf1 = next1, wl1[:n]
+		next2 := par.Filter(rt, wl2, buf2, func(v int32) bool { return m.stat[v] != statOut })
+		wl2, buf2 = next2, wl2[:n]
+		iter++
+	}
+
+	in := make([]int32, 0, n/16+1)
+	for v := 0; v < n; v++ {
+		if t.stat[v] == statIn {
+			in = append(in, int32(v))
+		}
+	}
+	return Result{InSet: in, Iterations: iter}
+}

@@ -1,0 +1,325 @@
+// Package par provides a small deterministic parallel runtime built on
+// goroutines: blocked parallel-for, reductions, exclusive prefix sums
+// (scans), and order-preserving parallel filtering.
+//
+// It plays the role Kokkos plays in the paper: every construct here is
+// deterministic with respect to the number of workers, because each worker
+// writes only to disjoint index ranges and combination steps use a fixed
+// blocking that does not depend on scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runtime executes parallel constructs with a fixed number of workers.
+// The zero value is not ready for use; call New.
+type Runtime struct {
+	workers int
+}
+
+// New returns a Runtime with the given number of workers.
+// If workers <= 0, runtime.GOMAXPROCS(0) workers are used.
+func New(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runtime{workers: workers}
+}
+
+// Workers reports the worker count.
+func (r *Runtime) Workers() int { return r.workers }
+
+// minGrain is the smallest per-worker chunk worth spawning a goroutine for.
+const minGrain = 512
+
+// For splits [0, n) into contiguous blocks and calls body(lo, hi) for each
+// block, possibly concurrently. body must only write to state owned by
+// indices in [lo, hi) for the result to be deterministic.
+func (r *Runtime) For(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := r.workers
+	if w == 1 || n <= minGrain {
+		body(0, n)
+		return
+	}
+	if w > n/minGrain {
+		w = n / minGrain
+		if w < 1 {
+			w = 1
+		}
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach calls body(i) for each i in [0, n), possibly concurrently.
+func (r *Runtime) ForEach(n int, body func(i int)) {
+	r.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Blocks returns the block boundaries For would use for n items:
+// a slice b with b[0]=0, b[len(b)-1]=n. Exposed so that two-pass
+// algorithms (count, then write) can share identical blocking.
+func (r *Runtime) Blocks(n int) []int {
+	if n <= 0 {
+		return []int{0, 0}
+	}
+	w := r.workers
+	if w == 1 || n <= minGrain {
+		return []int{0, n}
+	}
+	if w > n/minGrain {
+		w = n / minGrain
+		if w < 1 {
+			w = 1
+		}
+	}
+	chunk := (n + w - 1) / w
+	b := make([]int, 0, w+1)
+	for lo := 0; lo < n; lo += chunk {
+		b = append(b, lo)
+	}
+	b = append(b, n)
+	return b
+}
+
+// ForBlocks runs body(b) for each block b in [0, nb) on its own
+// goroutine. Intended for block-level two-pass algorithms where each
+// index is a whole chunk of work (see Blocks).
+func (r *Runtime) ForBlocks(nb int, body func(b int)) {
+	if nb <= 0 {
+		return
+	}
+	if nb == 1 || r.workers == 1 {
+		for b := 0; b < nb; b++ {
+			body(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			body(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Integer is the constraint for scan/reduce element types.
+type Integer interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64
+}
+
+// ReduceSum returns the sum of f(i) over [0, n). The reduction order is a
+// fixed function of n and the worker count, so the result is deterministic
+// (and for integers, order-independent anyway).
+func ReduceSum[T Integer](r *Runtime, n int, f func(i int) T) T {
+	blocks := r.Blocks(n)
+	nb := len(blocks) - 1
+	partial := make([]T, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			var s T
+			for i := blocks[b]; i < blocks[b+1]; i++ {
+				s += f(i)
+			}
+			partial[b] = s
+		}(b)
+	}
+	wg.Wait()
+	var total T
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// ReduceMax returns the maximum of f(i) over [0, n), or zero if n <= 0.
+func ReduceMax[T Integer](r *Runtime, n int, f func(i int) T) T {
+	if n <= 0 {
+		var zero T
+		return zero
+	}
+	blocks := r.Blocks(n)
+	nb := len(blocks) - 1
+	partial := make([]T, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			m := f(blocks[b])
+			for i := blocks[b] + 1; i < blocks[b+1]; i++ {
+				if v := f(i); v > m {
+					m = v
+				}
+			}
+			partial[b] = m
+		}(b)
+	}
+	wg.Wait()
+	m := partial[0]
+	for _, p := range partial[1:] {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// ScanExclusive computes the exclusive prefix sum of in into out and
+// returns the total. out must have len(in)+1 capacity or equal length len(in);
+// if len(out) == len(in)+1, out[len(in)] is set to the total.
+// in and out may alias.
+//
+// The computation is blocked: per-block sums, a serial scan over the block
+// sums, then a per-block local scan. Identical results for any worker count.
+func ScanExclusive[T Integer](r *Runtime, in, out []T) T {
+	n := len(in)
+	if n == 0 {
+		if len(out) > 0 {
+			out[0] = 0
+		}
+		return 0
+	}
+	blocks := r.Blocks(n)
+	nb := len(blocks) - 1
+	if nb == 1 {
+		var run T
+		for i := 0; i < n; i++ {
+			v := in[i]
+			out[i] = run
+			run += v
+		}
+		if len(out) > n {
+			out[n] = run
+		}
+		return run
+	}
+	sums := make([]T, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			var s T
+			for i := blocks[b]; i < blocks[b+1]; i++ {
+				s += in[i]
+			}
+			sums[b] = s
+		}(b)
+	}
+	wg.Wait()
+	var run T
+	offsets := make([]T, nb)
+	for b := 0; b < nb; b++ {
+		offsets[b] = run
+		run += sums[b]
+	}
+	total := run
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			acc := offsets[b]
+			for i := blocks[b]; i < blocks[b+1]; i++ {
+				v := in[i]
+				out[i] = acc
+				acc += v
+			}
+		}(b)
+	}
+	wg.Wait()
+	if len(out) > n {
+		out[n] = total
+	}
+	return total
+}
+
+// Filter writes the elements of src for which keep returns true into dst,
+// preserving order, and returns the filled prefix of dst. dst must have
+// capacity >= len(src); src and dst must not alias.
+//
+// This is the worklist-compaction primitive of Algorithm 1 (lines 33-34):
+// a two-pass count + exclusive scan + scatter, deterministic for any worker
+// count.
+func Filter[T any](r *Runtime, src []T, dst []T, keep func(T) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return dst[:0]
+	}
+	blocks := r.Blocks(n)
+	nb := len(blocks) - 1
+	if nb == 1 {
+		k := 0
+		for _, v := range src {
+			if keep(v) {
+				dst[k] = v
+				k++
+			}
+		}
+		return dst[:k]
+	}
+	counts := make([]int, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			c := 0
+			for i := blocks[b]; i < blocks[b+1]; i++ {
+				if keep(src[i]) {
+					c++
+				}
+			}
+			counts[b] = c
+		}(b)
+	}
+	wg.Wait()
+	total := 0
+	offsets := make([]int, nb)
+	for b := 0; b < nb; b++ {
+		offsets[b] = total
+		total += counts[b]
+	}
+	for b := 0; b < nb; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			k := offsets[b]
+			for i := blocks[b]; i < blocks[b+1]; i++ {
+				if keep(src[i]) {
+					dst[k] = src[i]
+					k++
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	return dst[:total]
+}

@@ -1,0 +1,257 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func workerCounts() []int { return []int{1, 2, 3, 7, 16} }
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, w := range workerCounts() {
+		rt := New(w)
+		for _, n := range []int{0, 1, 5, 511, 512, 513, 10000} {
+			hits := make([]int32, n)
+			rt.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	rt := New(4)
+	n := 2000
+	hits := make([]int32, n)
+	rt.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, w := range workerCounts() {
+		rt := New(w)
+		for _, n := range []int{0, 1, 100, 512, 513, 99999} {
+			b := rt.Blocks(n)
+			if b[0] != 0 || b[len(b)-1] != n {
+				t.Fatalf("workers=%d n=%d: bad boundaries %v", w, n, b)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] < b[i-1] {
+					t.Fatalf("workers=%d n=%d: non-monotone blocks %v", w, n, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNewDefaultsWorkers(t *testing.T) {
+	if New(0).Workers() <= 0 {
+		t.Fatal("New(0) must default to a positive worker count")
+	}
+	if New(-3).Workers() <= 0 {
+		t.Fatal("New(-3) must default to a positive worker count")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+}
+
+func TestReduceSumMatchesSerial(t *testing.T) {
+	f := func(data []int32) bool {
+		var want int64
+		for _, v := range data {
+			want += int64(v)
+		}
+		for _, w := range workerCounts() {
+			rt := New(w)
+			got := ReduceSum[int64](rt, len(data), func(i int) int64 { return int64(data[i]) })
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	rt := New(8)
+	data := make([]uint32, 5000)
+	for i := range data {
+		data[i] = uint32((i * 2654435761) % 100000)
+	}
+	want := uint32(0)
+	for _, v := range data {
+		if v > want {
+			want = v
+		}
+	}
+	got := ReduceMax[uint32](rt, len(data), func(i int) uint32 { return data[i] })
+	if got != want {
+		t.Fatalf("ReduceMax = %d, want %d", got, want)
+	}
+	if ReduceMax[uint32](rt, 0, func(i int) uint32 { return 1 }) != 0 {
+		t.Fatal("ReduceMax of empty range must be zero")
+	}
+}
+
+func scanSerial(in []int64) ([]int64, int64) {
+	out := make([]int64, len(in))
+	var run int64
+	for i, v := range in {
+		out[i] = run
+		run += v
+	}
+	return out, run
+}
+
+func TestScanExclusiveMatchesSerial(t *testing.T) {
+	f := func(raw []int16) bool {
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		wantOut, wantTotal := scanSerial(in)
+		for _, w := range workerCounts() {
+			rt := New(w)
+			out := make([]int64, len(in)+1)
+			total := ScanExclusive(rt, in, out)
+			if total != wantTotal || out[len(in)] != wantTotal {
+				return false
+			}
+			for i := range wantOut {
+				if out[i] != wantOut[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanExclusiveLarge(t *testing.T) {
+	n := 100000
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i % 7)
+	}
+	wantOut, wantTotal := scanSerial(in)
+	rt := New(16)
+	out := make([]int64, n)
+	total := ScanExclusive(rt, in, out)
+	if total != wantTotal {
+		t.Fatalf("total %d want %d", total, wantTotal)
+	}
+	for i := range out {
+		if out[i] != wantOut[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], wantOut[i])
+		}
+	}
+}
+
+func TestScanExclusiveInPlace(t *testing.T) {
+	n := 10000
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i%13) - 5
+	}
+	wantOut, wantTotal := scanSerial(in)
+	rt := New(8)
+	total := ScanExclusive(rt, in, in) // aliased
+	if total != wantTotal {
+		t.Fatalf("total %d want %d", total, wantTotal)
+	}
+	for i := range in {
+		if in[i] != wantOut[i] {
+			t.Fatalf("in-place out[%d] = %d, want %d", i, in[i], wantOut[i])
+		}
+	}
+}
+
+func TestScanExclusiveEmpty(t *testing.T) {
+	rt := New(4)
+	if got := ScanExclusive(rt, nil, []int64{99}); got != 0 {
+		t.Fatalf("empty scan total = %d", got)
+	}
+}
+
+func TestFilterMatchesSerial(t *testing.T) {
+	f := func(data []uint16) bool {
+		keep := func(v uint16) bool { return v%3 == 0 }
+		var want []uint16
+		for _, v := range data {
+			if keep(v) {
+				want = append(want, v)
+			}
+		}
+		for _, w := range workerCounts() {
+			rt := New(w)
+			dst := make([]uint16, len(data))
+			got := Filter(rt, data, dst, keep)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterLargePreservesOrder(t *testing.T) {
+	n := 200000
+	src := make([]int32, n)
+	for i := range src {
+		src[i] = int32(i)
+	}
+	rt := New(16)
+	dst := make([]int32, n)
+	got := Filter(rt, src, dst, func(v int32) bool { return v%17 == 0 })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated at %d: %d then %d", i, got[i-1], got[i])
+		}
+	}
+	if len(got) != (n+16)/17 {
+		t.Fatalf("kept %d, want %d", len(got), (n+16)/17)
+	}
+}
+
+func TestFilterEmptyAndAll(t *testing.T) {
+	rt := New(8)
+	src := []int32{1, 2, 3}
+	dst := make([]int32, 3)
+	if got := Filter(rt, src, dst, func(int32) bool { return false }); len(got) != 0 {
+		t.Fatalf("filter none: got %v", got)
+	}
+	got := Filter(rt, src, dst, func(int32) bool { return true })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("filter all: got %v", got)
+	}
+	if got := Filter(rt, nil, dst, func(int32) bool { return true }); len(got) != 0 {
+		t.Fatalf("filter empty src: got %v", got)
+	}
+}

@@ -1,0 +1,398 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/graph"
+)
+
+func randomGraph(n, m int, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestFromCSRUnitWeights(t *testing.T) {
+	g := gen.Laplace2D(5, 5)
+	wg := FromCSR(g)
+	if wg.TotalVW() != 25 {
+		t.Fatalf("total VW = %d", wg.TotalVW())
+	}
+	for _, w := range wg.EW {
+		if w != 1 {
+			t.Fatal("edge weight not unit")
+		}
+	}
+}
+
+func TestCoarsenPreservesWeight(t *testing.T) {
+	g := gen.Laplace2D(10, 10)
+	wg := FromCSR(g)
+	// Pair vertices (v, v+1) into 50 aggregates.
+	labels := make([]int32, 100)
+	for v := range labels {
+		labels[v] = int32(v / 2)
+	}
+	cg := wg.Coarsen(labels, 50)
+	if cg.N != 50 {
+		t.Fatalf("coarse N = %d", cg.N)
+	}
+	if cg.TotalVW() != wg.TotalVW() {
+		t.Fatalf("vertex weight not preserved: %d vs %d", cg.TotalVW(), wg.TotalVW())
+	}
+	// Edge weight conservation: coarse edge weight total + intra-aggregate
+	// edges = fine total.
+	fineTotal := int64(0)
+	for _, w := range wg.EW {
+		fineTotal += w
+	}
+	fineTotal /= 2
+	coarseTotal := int64(0)
+	for _, w := range cg.EW {
+		coarseTotal += w
+	}
+	coarseTotal /= 2
+	intra := int64(0)
+	for v := 0; v < wg.N; v++ {
+		for p := wg.RowPtr[v]; p < wg.RowPtr[v+1]; p++ {
+			w := wg.Col[p]
+			if int32(v) < w && labels[v] == labels[w] {
+				intra += wg.EW[p]
+			}
+		}
+	}
+	if coarseTotal+intra != fineTotal {
+		t.Fatalf("edge weight leak: coarse %d + intra %d != fine %d", coarseTotal, intra, fineTotal)
+	}
+}
+
+func TestCoarsenDeterministic(t *testing.T) {
+	g := randomGraph(200, 800, 9)
+	wg := FromCSR(g)
+	labels := make([]int32, g.N)
+	for v := range labels {
+		labels[v] = int32(v % 40)
+	}
+	a := wg.Coarsen(labels, 40)
+	b := wg.Coarsen(labels, 40)
+	if len(a.Col) != len(b.Col) {
+		t.Fatal("nondeterministic coarsening")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] || a.EW[i] != b.EW[i] {
+			t.Fatal("nondeterministic coarsening (map order leaked)")
+		}
+	}
+}
+
+func TestHEMIsValidAggregation(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 4 + int(uint64(seed)%150)
+		g := randomGraph(n, 3*n, seed)
+		agg := HEM(FromCSR(g))
+		if len(agg.Labels) != n {
+			return false
+		}
+		// Every aggregate has 1 or 2 vertices (it is a matching).
+		size := make([]int, agg.NumAggregates)
+		for _, a := range agg.Labels {
+			if a < 0 || int(a) >= agg.NumAggregates {
+				return false
+			}
+			size[a]++
+		}
+		for _, s := range size {
+			if s < 1 || s > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHEMMatchesAdjacentVertices(t *testing.T) {
+	g := gen.Laplace2D(12, 12)
+	wg := FromCSR(g)
+	agg := HEM(wg)
+	// Matched pairs must be adjacent.
+	byAgg := map[int32][]int32{}
+	for v, a := range agg.Labels {
+		byAgg[a] = append(byAgg[a], int32(v))
+	}
+	for _, vs := range byAgg {
+		if len(vs) == 2 && !g.HasEdge(vs[0], vs[1]) {
+			t.Fatalf("matched non-adjacent vertices %v", vs)
+		}
+	}
+	// On a grid, most vertices should be matched (few singletons).
+	singles := 0
+	for _, vs := range byAgg {
+		if len(vs) == 1 {
+			singles++
+		}
+	}
+	if singles > g.N/4 {
+		t.Fatalf("too many singletons: %d of %d aggregates", singles, agg.NumAggregates)
+	}
+}
+
+func TestPartitionGrid(t *testing.T) {
+	g := gen.Laplace2D(32, 32)
+	for _, pol := range []Policy{MIS2Policy, HEMPolicy} {
+		res, err := Partition(g, Options{Policy: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if err := Check(FromCSR(g), res.Part); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.Balance > 1.10 {
+			t.Fatalf("%v: balance %.3f too lax", pol, res.Balance)
+		}
+		// A 32x32 grid has an ideal bisection cut of 32; multilevel with
+		// greedy refinement should stay within a small factor.
+		if res.EdgeCut > 4*32 {
+			t.Fatalf("%v: edge cut %d far from optimal 32", pol, res.EdgeCut)
+		}
+		if res.Levels < 2 {
+			t.Fatalf("%v: no multilevel structure (%d levels)", pol, res.Levels)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := randomGraph(500, 2000, 21)
+	for _, pol := range []Policy{MIS2Policy, HEMPolicy} {
+		a, err := Partition(g, Options{Policy: pol, Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(g, Options{Policy: pol, Threads: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.EdgeCut != b.EdgeCut {
+			t.Fatalf("%v: cut differs across thread counts: %d vs %d", pol, a.EdgeCut, b.EdgeCut)
+		}
+		for v := range a.Part {
+			if a.Part[v] != b.Part[v] {
+				t.Fatalf("%v: partition differs across thread counts", pol)
+			}
+		}
+	}
+}
+
+func TestPartitionBeatsNaiveSplit(t *testing.T) {
+	// Multilevel partitioning must beat the trivial first-half/second-half
+	// split on a random graph (where index order is meaningless).
+	g := randomGraph(600, 3600, 5)
+	wg := FromCSR(g)
+	naive := make([]uint8, g.N)
+	for v := g.N / 2; v < g.N; v++ {
+		naive[v] = 1
+	}
+	naiveCut := EdgeCut(wg, naive)
+	res, err := Partition(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut >= naiveCut {
+		t.Fatalf("multilevel cut %d not better than naive %d", res.EdgeCut, naiveCut)
+	}
+}
+
+func TestMIS2CoarseningCompetitiveWithHEM(t *testing.T) {
+	// Gilbert et al. (cited in the paper) find MIS-2 coarsening
+	// outperforms HEM for regular graphs. Require MIS-2 to be at least
+	// competitive (within 1.5x) on a regular mesh.
+	g := gen.Laplace3D(12, 12, 12)
+	mis2, err := Partition(g, Options{Policy: MIS2Policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hem, err := Partition(g, Options{Policy: HEMPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(mis2.EdgeCut) > 1.5*float64(hem.EdgeCut)+8 {
+		t.Fatalf("MIS-2 cut %d not competitive with HEM cut %d", mis2.EdgeCut, hem.EdgeCut)
+	}
+}
+
+func TestRefineImprovesGrownBisection(t *testing.T) {
+	g := gen.Laplace2D(24, 24)
+	wg := FromCSR(g)
+	part := growBisect(wg)
+	before := EdgeCut(wg, part)
+	refine(wg, part, Options{}.withDefaults())
+	after := EdgeCut(wg, part)
+	if after > before {
+		t.Fatalf("refinement worsened the cut: %d -> %d", before, after)
+	}
+}
+
+func TestEdgeCutAndBalance(t *testing.T) {
+	// 4-cycle split into adjacent pairs: cut = 2.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	wg := FromCSR(g)
+	part := []uint8{0, 0, 1, 1}
+	if cut := EdgeCut(wg, part); cut != 2 {
+		t.Fatalf("cut = %d, want 2", cut)
+	}
+	if b := balance(wg, part); b != 1.0 {
+		t.Fatalf("balance = %f, want 1", b)
+	}
+}
+
+func TestCheckCatchesBadPartitions(t *testing.T) {
+	g := gen.Laplace2D(4, 4)
+	wg := FromCSR(g)
+	if Check(wg, make([]uint8, 3)) == nil {
+		t.Fatal("length mismatch not caught")
+	}
+	bad := make([]uint8, 16)
+	bad[0] = 7
+	if Check(wg, bad) == nil {
+		t.Fatal("invalid part id not caught")
+	}
+	if Check(wg, make([]uint8, 16)) == nil {
+		t.Fatal("empty side not caught")
+	}
+}
+
+func TestPartitionTooSmall(t *testing.T) {
+	if _, err := Partition(graph.FromEdges(1, nil), Options{}); err == nil {
+		t.Fatal("singleton graph must be rejected")
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two disjoint 4x4 grids: the ideal bisection cuts zero edges.
+	var edges []graph.Edge
+	idx := func(b, x, y int) int32 { return int32(b*16 + y*4 + x) }
+	for b := 0; b < 2; b++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if x+1 < 4 {
+					edges = append(edges, graph.Edge{U: idx(b, x, y), V: idx(b, x+1, y)})
+				}
+				if y+1 < 4 {
+					edges = append(edges, graph.Edge{U: idx(b, x, y), V: idx(b, x, y+1)})
+				}
+			}
+		}
+	}
+	g := graph.FromEdges(32, edges)
+	res, err := Partition(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut != 0 {
+		t.Fatalf("disconnected graph bisection should cut 0, cut %d", res.EdgeCut)
+	}
+	if res.Balance > 1.01 {
+		t.Fatalf("balance %.3f", res.Balance)
+	}
+}
+
+func TestKWayPartition(t *testing.T) {
+	g := gen.Laplace2D(24, 24)
+	for _, k := range []int{2, 4, 8} {
+		res, err := KWay(g, k, Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.K != k {
+			t.Fatalf("k=%d: reported K %d", k, res.K)
+		}
+		counts := make([]int, k)
+		for _, p := range res.Part {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: part %d out of range", k, p)
+			}
+			counts[p]++
+		}
+		for part, c := range counts {
+			if c == 0 {
+				t.Fatalf("k=%d: part %d empty", k, part)
+			}
+		}
+		if res.Balance > 1.5 {
+			t.Fatalf("k=%d: balance %.3f", k, res.Balance)
+		}
+		if res.EdgeCut <= 0 {
+			t.Fatalf("k=%d: zero cut on connected mesh", k)
+		}
+	}
+}
+
+func TestKWayRejectsBadK(t *testing.T) {
+	g := gen.Laplace2D(8, 8)
+	for _, k := range []int{0, 1, 3, 6} {
+		if _, err := KWay(g, k, Options{}); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+}
+
+func TestKWayMoreCutsThanBisection(t *testing.T) {
+	g := gen.Laplace2D(20, 20)
+	r2, err := KWay(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := KWay(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.EdgeCut <= r2.EdgeCut {
+		t.Fatalf("8-way cut %d not larger than 2-way %d", r8.EdgeCut, r2.EdgeCut)
+	}
+}
+
+func TestStructureSharesStorage(t *testing.T) {
+	g := gen.Laplace2D(6, 6)
+	wg := FromCSR(g)
+	s := wg.Structure()
+	if s.N != wg.N || &s.Col[0] != &wg.Col[0] {
+		t.Fatal("Structure must share the adjacency storage")
+	}
+}
+
+func TestKWayDeterministic(t *testing.T) {
+	g := randomGraph(300, 1500, 3)
+	a, err := KWay(g, 4, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KWay(g, 4, Options{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgeCut != b.EdgeCut {
+		t.Fatalf("k-way cut differs across thread counts: %d vs %d", a.EdgeCut, b.EdgeCut)
+	}
+	for v := range a.Part {
+		if a.Part[v] != b.Part[v] {
+			t.Fatal("k-way partition differs across thread counts")
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if MIS2Policy.String() != "MIS-2" || HEMPolicy.String() != "HEM" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "unknown" {
+		t.Fatal("unknown policy name wrong")
+	}
+}

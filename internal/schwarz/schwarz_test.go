@@ -1,0 +1,174 @@
+package schwarz
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/krylov"
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+func poisson(nx, ny int) (*sparse.Matrix, []float64) {
+	g := gen.Laplace2D(nx, ny)
+	a := gen.DirichletLaplacian(g, 4)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = math.Sin(0.07*float64(i)) + 1
+	}
+	return a, b
+}
+
+func TestSchwarzPreconditionedCG(t *testing.T) {
+	a, b := poisson(40, 40)
+	p, err := New(a, Options{Subdomains: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSubdomains() == 0 || !p.HasCoarse() {
+		t.Fatalf("unexpected structure: %d subdomains, coarse=%v", p.NumSubdomains(), p.HasCoarse())
+	}
+	x := make([]float64, a.Rows)
+	st, err := krylov.CG(par.New(0), a, b, x, 1e-10, 500, p)
+	if err != nil || !st.Converged {
+		t.Fatalf("Schwarz-CG failed: %v %+v", err, st)
+	}
+	// Must beat unpreconditioned CG.
+	y := make([]float64, a.Rows)
+	stPlain, err := krylov.CG(par.New(0), a, b, y, 1e-10, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations >= stPlain.Iterations {
+		t.Fatalf("Schwarz iterations %d >= plain %d", st.Iterations, stPlain.Iterations)
+	}
+}
+
+func TestCoarseLevelHelps(t *testing.T) {
+	// The two-level method scales with subdomain count; one-level
+	// degrades. At fixed size, two-level should need no more iterations.
+	a, b := poisson(36, 36)
+	rt := par.New(0)
+	iters := func(noCoarse bool) int {
+		p, err := New(a, Options{Subdomains: 16, NoCoarse: noCoarse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, a.Rows)
+		st, err := krylov.CG(rt, a, b, x, 1e-10, 1000, p)
+		if err != nil || !st.Converged {
+			t.Fatalf("noCoarse=%v: %v %+v", noCoarse, err, st)
+		}
+		return st.Iterations
+	}
+	one, two := iters(true), iters(false)
+	if two > one {
+		t.Fatalf("coarse level hurt: %d (two-level) vs %d (one-level)", two, one)
+	}
+}
+
+func TestOverlapImprovesConvergence(t *testing.T) {
+	a, b := poisson(32, 32)
+	rt := par.New(0)
+	iters := func(overlap int) int {
+		p, err := New(a, Options{Subdomains: 8, Overlap: overlap, NoCoarse: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, a.Rows)
+		st, err := krylov.CG(rt, a, b, x, 1e-10, 2000, p)
+		if err != nil || !st.Converged {
+			t.Fatalf("overlap=%d: %v %+v", overlap, err, st)
+		}
+		return st.Iterations
+	}
+	if i2, i1 := iters(2), iters(1); i2 > i1+3 {
+		t.Fatalf("more overlap degraded convergence: %d vs %d", i2, i1)
+	}
+}
+
+func TestDeterministicAcrossThreads(t *testing.T) {
+	a, b := poisson(24, 24)
+	run := func(threads int) []float64 {
+		p, err := New(a, Options{Subdomains: 4, Threads: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := make([]float64, a.Rows)
+		p.Precondition(b, z)
+		return z
+	}
+	z1, z8 := run(1), run(8)
+	for i := range z1 {
+		if z1[i] != z8[i] {
+			t.Fatalf("nondeterministic at %d: %g vs %g", i, z1[i], z8[i])
+		}
+	}
+}
+
+func TestPreconditionerIsSymmetricOperator(t *testing.T) {
+	// Additive Schwarz with exact local solves is symmetric:
+	// <M r1, r2> == <r1, M r2>.
+	a, _ := poisson(20, 20)
+	p, err := New(a, Options{Subdomains: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	r1 := make([]float64, n)
+	r2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r1[i] = math.Sin(0.3 * float64(i))
+		r2[i] = math.Cos(0.11 * float64(i))
+	}
+	z1 := make([]float64, n)
+	z2 := make([]float64, n)
+	p.Precondition(r1, z1)
+	p.Precondition(r2, z2)
+	var a12, a21 float64
+	for i := 0; i < n; i++ {
+		a12 += z1[i] * r2[i]
+		a21 += r1[i] * z2[i]
+	}
+	if math.Abs(a12-a21) > 1e-9*(1+math.Abs(a12)) {
+		t.Fatalf("not symmetric: %g vs %g", a12, a21)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	bad := &sparse.Matrix{Rows: 2, Cols: 3, RowPtr: []int{0, 0, 0}}
+	if _, err := New(bad, Options{}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	empty := &sparse.Matrix{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	if _, err := New(empty, Options{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	a, _ := poisson(10, 10)
+	if _, err := New(a, Options{Overlap: -1}); err == nil {
+		t.Fatal("negative overlap accepted")
+	}
+	// Too few subdomains for a dense local solve must be rejected with a
+	// helpful error, not an OOM: 1 subdomain of a big matrix.
+	big, _ := poisson(100, 100)
+	if _, err := New(big, Options{Subdomains: 2, NoCoarse: true}); err == nil {
+		t.Fatal("oversized subdomain accepted")
+	}
+}
+
+func TestDefaultsReasonable(t *testing.T) {
+	a, b := poisson(40, 40)
+	p, err := New(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSubdomains() < 2 {
+		t.Fatalf("defaults produced %d subdomains", p.NumSubdomains())
+	}
+	x := make([]float64, a.Rows)
+	st, err := krylov.CG(par.New(0), a, b, x, 1e-9, 1000, p)
+	if err != nil || !st.Converged {
+		t.Fatalf("defaults failed: %v %+v", err, st)
+	}
+}

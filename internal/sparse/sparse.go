@@ -1,0 +1,359 @@
+// Package sparse implements the CSR sparse matrix substrate: parallel
+// sparse matrix-vector products, sparse matrix-matrix products (SpGEMM,
+// Gustavson's algorithm), transposition, and the Galerkin triple product
+// R*A*P needed by smoothed-aggregation algebraic multigrid.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mis2go/internal/graph"
+	"mis2go/internal/par"
+)
+
+// Matrix is a sparse matrix in CSR format. Column indices within a row are
+// sorted ascending for matrices that pass Validate.
+type Matrix struct {
+	Rows, Cols int
+	RowPtr     []int   // length Rows+1
+	Col        []int32 // length NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *Matrix) NNZ() int { return len(a.Col) }
+
+// Validate checks structural invariants.
+func (a *Matrix) Validate() error {
+	if a.Rows < 0 || a.Cols < 0 {
+		return errors.New("sparse: negative dimension")
+	}
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(a.RowPtr), a.Rows+1)
+	}
+	if a.RowPtr[0] != 0 || a.RowPtr[a.Rows] != len(a.Col) || len(a.Col) != len(a.Val) {
+		return errors.New("sparse: inconsistent RowPtr/Col/Val lengths")
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.Col[p] < 0 || int(a.Col[p]) >= a.Cols {
+				return fmt.Errorf("sparse: row %d has out-of-range column %d", i, a.Col[p])
+			}
+			if p > a.RowPtr[i] && a.Col[p-1] >= a.Col[p] {
+				return fmt.Errorf("sparse: row %d not sorted/duplicate-free", i)
+			}
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if math.IsNaN(a.Val[p]) || math.IsInf(a.Val[p], 0) {
+				return fmt.Errorf("sparse: non-finite value at row %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// SpMV computes y = A*x in parallel over rows.
+func (a *Matrix) SpMV(rt *par.Runtime, x, y []float64) {
+	rt.For(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				s += a.Val[p] * x[a.Col[p]]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// Diagonal returns the diagonal entries of A (zero where absent).
+func (a *Matrix) Diagonal() []float64 {
+	d := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.Col[p]) == i {
+				d[i] = a.Val[p]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Graph returns the adjacency structure of A with the diagonal removed,
+// symmetrized. This is the graph coarsening and coloring operate on.
+func (a *Matrix) Graph() *graph.CSR {
+	edges := make([]graph.Edge, 0, len(a.Col))
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.Col[p]
+			if int(j) > i {
+				edges = append(edges, graph.Edge{U: int32(i), V: j})
+			} else if int(j) < i {
+				// Keep lower entries too in case A is structurally
+				// unsymmetric; FromEdges dedupes.
+				edges = append(edges, graph.Edge{U: j, V: int32(i)})
+			}
+		}
+	}
+	n := a.Rows
+	if a.Cols > n {
+		n = a.Cols
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Transpose returns A^T using a counting sort over columns (deterministic).
+func (a *Matrix) Transpose() *Matrix {
+	t := &Matrix{Rows: a.Cols, Cols: a.Rows}
+	t.RowPtr = make([]int, a.Cols+1)
+	for _, j := range a.Col {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	t.Col = make([]int32, len(a.Col))
+	t.Val = make([]float64, len(a.Val))
+	fill := make([]int, a.Cols)
+	copy(fill, t.RowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.Col[p]
+			t.Col[fill[j]] = int32(i)
+			t.Val[fill[j]] = a.Val[p]
+			fill[j]++
+		}
+	}
+	return t
+}
+
+// Multiply computes C = A*B with Gustavson's row-by-row SpGEMM,
+// parallelized over rows of A with per-worker dense accumulators.
+// Deterministic: each output row is computed independently and sorted.
+func Multiply(rt *par.Runtime, a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("sparse: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := &Matrix{Rows: a.Rows, Cols: b.Cols}
+	c.RowPtr = make([]int, a.Rows+1)
+	counts := make([]int, a.Rows)
+
+	// Symbolic pass: count nnz per output row.
+	rt.For(a.Rows, func(lo, hi int) {
+		mark := make([]int32, b.Cols)
+		for i := range mark {
+			mark[i] = -1
+		}
+		for i := lo; i < hi; i++ {
+			cnt := 0
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				k := a.Col[p]
+				for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+					j := b.Col[q]
+					if mark[j] != int32(i) {
+						mark[j] = int32(i)
+						cnt++
+					}
+				}
+			}
+			counts[i] = cnt
+		}
+	})
+	nnz := par.ScanExclusive(rt, counts, c.RowPtr)
+	c.Col = make([]int32, nnz)
+	c.Val = make([]float64, nnz)
+
+	// Numeric pass.
+	rt.For(a.Rows, func(lo, hi int) {
+		acc := make([]float64, b.Cols)
+		mark := make([]int32, b.Cols)
+		for i := range mark {
+			mark[i] = -1
+		}
+		for i := lo; i < hi; i++ {
+			base := c.RowPtr[i]
+			k := base
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				ak := a.Val[p]
+				row := a.Col[p]
+				for q := b.RowPtr[row]; q < b.RowPtr[row+1]; q++ {
+					j := b.Col[q]
+					if mark[j] != int32(i) {
+						mark[j] = int32(i)
+						acc[j] = ak * b.Val[q]
+						c.Col[k] = j
+						k++
+					} else {
+						acc[j] += ak * b.Val[q]
+					}
+				}
+			}
+			cols := c.Col[base:k]
+			sort.Slice(cols, func(x, y int) bool { return cols[x] < cols[y] })
+			for idx := base; idx < k; idx++ {
+				c.Val[idx] = acc[c.Col[idx]]
+			}
+		}
+	})
+	return c, nil
+}
+
+// RAP computes the Galerkin coarse operator R*A*P.
+func RAP(rt *par.Runtime, r, a, p *Matrix) (*Matrix, error) {
+	ap, err := Multiply(rt, a, p)
+	if err != nil {
+		return nil, err
+	}
+	return Multiply(rt, r, ap)
+}
+
+// Scale multiplies all values by s in place.
+func (a *Matrix) Scale(s float64) {
+	for i := range a.Val {
+		a.Val[i] *= s
+	}
+}
+
+// Clone returns a deep copy of A.
+func (a *Matrix) Clone() *Matrix {
+	b := &Matrix{Rows: a.Rows, Cols: a.Cols}
+	b.RowPtr = append([]int(nil), a.RowPtr...)
+	b.Col = append([]int32(nil), a.Col...)
+	b.Val = append([]float64(nil), a.Val...)
+	return b
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := &Matrix{Rows: n, Cols: n}
+	m.RowPtr = make([]int, n+1)
+	m.Col = make([]int32, n)
+	m.Val = make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.Col[i] = int32(i)
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// Add computes A + s*B for matrices with identical dimensions.
+func Add(a, b *Matrix, s float64) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("sparse: add dimension mismatch")
+	}
+	c := &Matrix{Rows: a.Rows, Cols: a.Cols}
+	c.RowPtr = make([]int, a.Rows+1)
+	colBuf := make([]int32, 0, len(a.Col)+len(b.Col))
+	valBuf := make([]float64, 0, len(a.Col)+len(b.Col))
+	for i := 0; i < a.Rows; i++ {
+		pa, pb := a.RowPtr[i], b.RowPtr[i]
+		ea, eb := a.RowPtr[i+1], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			switch {
+			case pb >= eb || (pa < ea && a.Col[pa] < b.Col[pb]):
+				colBuf = append(colBuf, a.Col[pa])
+				valBuf = append(valBuf, a.Val[pa])
+				pa++
+			case pa >= ea || b.Col[pb] < a.Col[pa]:
+				colBuf = append(colBuf, b.Col[pb])
+				valBuf = append(valBuf, s*b.Val[pb])
+				pb++
+			default:
+				colBuf = append(colBuf, a.Col[pa])
+				valBuf = append(valBuf, a.Val[pa]+s*b.Val[pb])
+				pa++
+				pb++
+			}
+		}
+		c.RowPtr[i+1] = len(colBuf)
+	}
+	c.Col = colBuf
+	c.Val = valBuf
+	return c, nil
+}
+
+// Dense is a small dense matrix used for coarse-grid solves.
+type Dense struct {
+	N    int
+	Data []float64 // row-major
+	piv  []int
+}
+
+// ToDense converts a square sparse matrix to dense form.
+func (a *Matrix) ToDense() (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("sparse: ToDense requires square matrix")
+	}
+	d := &Dense{N: a.Rows, Data: make([]float64, a.Rows*a.Rows)}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d.Data[i*a.Rows+int(a.Col[p])] = a.Val[p]
+		}
+	}
+	return d, nil
+}
+
+// Factorize computes an LU factorization with partial pivoting in place.
+func (d *Dense) Factorize() error {
+	n := d.N
+	d.piv = make([]int, n)
+	for k := 0; k < n; k++ {
+		// Pivot selection.
+		pk, pmax := k, math.Abs(d.Data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(d.Data[i*n+k]); v > pmax {
+				pk, pmax = i, v
+			}
+		}
+		if pmax == 0 {
+			return fmt.Errorf("sparse: singular dense matrix at pivot %d", k)
+		}
+		d.piv[k] = pk
+		if pk != k {
+			for j := 0; j < n; j++ {
+				d.Data[k*n+j], d.Data[pk*n+j] = d.Data[pk*n+j], d.Data[k*n+j]
+			}
+		}
+		inv := 1 / d.Data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := d.Data[i*n+k] * inv
+			d.Data[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				d.Data[i*n+j] -= l * d.Data[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves the factorized system in place: x := A^{-1} b.
+// Factorize must have been called.
+func (d *Dense) Solve(b, x []float64) {
+	n := d.N
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		if p := d.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			x[i] -= d.Data[i*n+k] * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= d.Data[i*n+j] * x[j]
+		}
+		x[i] = s / d.Data[i*n+i]
+	}
+}

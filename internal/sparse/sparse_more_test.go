@@ -1,0 +1,218 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mis2go/internal/par"
+)
+
+func TestMultiplyByIdentity(t *testing.T) {
+	rt := par.New(4)
+	a := randomMatrix(15, 15, 0.3, 21)
+	id := Identity(15)
+	left, err := Multiply(rt, id, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Multiply(rt, a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := toDenseSlice(a)
+	if !almostEqual(toDenseSlice(left), da, 1e-14) || !almostEqual(toDenseSlice(right), da, 1e-14) {
+		t.Fatal("identity multiplication changed the matrix")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rows := 1 + int(uint64(seed)%25)
+		cols := 1 + int(uint64(seed)%25)
+		a := randomMatrix(rows, cols, 0.3, seed)
+		att := a.Transpose().Transpose()
+		if att.Rows != a.Rows || att.NNZ() != a.NNZ() {
+			return false
+		}
+		for i := range a.Col {
+			if a.Col[i] != att.Col[i] || a.Val[i] != att.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyAssociativity(t *testing.T) {
+	rt := par.New(4)
+	a := randomMatrix(8, 10, 0.4, 1)
+	b := randomMatrix(10, 6, 0.4, 2)
+	c := randomMatrix(6, 9, 0.4, 3)
+	ab, err := Multiply(rt, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc1, err := Multiply(rt, ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Multiply(rt, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc2, err := Multiply(rt, a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(toDenseSlice(abc1), toDenseSlice(abc2), 1e-10) {
+		t.Fatal("(AB)C != A(BC)")
+	}
+}
+
+func TestAddIdentityCancellation(t *testing.T) {
+	a := randomMatrix(12, 12, 0.3, 9)
+	zero, err := Add(a, a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zero.Val {
+		if v != 0 {
+			t.Fatal("A - A != 0")
+		}
+	}
+}
+
+func TestSpMVEmptyRows(t *testing.T) {
+	// Matrix with some empty rows.
+	a := &Matrix{Rows: 4, Cols: 4,
+		RowPtr: []int{0, 1, 1, 2, 2},
+		Col:    []int32{0, 3},
+		Val:    []float64{2, 5},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1, 1, 1}
+	y := make([]float64, 4)
+	a.SpMV(par.New(1), x, y)
+	want := []float64{2, 0, 5, 0}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestDenseSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%20)
+		// Diagonally dominant random matrix: always nonsingular.
+		a := randomMatrix(n, n, 0.4, seed)
+		// Boost diagonal.
+		d := &Matrix{Rows: n, Cols: n}
+		d.RowPtr = make([]int, n+1)
+		for i := 0; i < n; i++ {
+			d.Col = append(d.Col, int32(i))
+			d.Val = append(d.Val, float64(n)+5)
+			d.RowPtr[i+1] = i + 1
+		}
+		sum, err := Add(a, d, 1)
+		if err != nil {
+			return false
+		}
+		dense, err := sum.ToDense()
+		if err != nil {
+			return false
+		}
+		if dense.Factorize() != nil {
+			return false
+		}
+		xWant := make([]float64, n)
+		for i := range xWant {
+			xWant[i] = float64(i%5) - 2
+		}
+		b := make([]float64, n)
+		sum.SpMV(par.New(1), xWant, b)
+		x := make([]float64, n)
+		dense.Solve(b, x)
+		return almostEqual(x, xWant, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphSymmetrizesUnsymmetricPattern(t *testing.T) {
+	// Upper-triangular pattern only.
+	a := &Matrix{Rows: 3, Cols: 3,
+		RowPtr: []int{0, 2, 3, 3},
+		Col:    []int32{1, 2, 2},
+		Val:    []float64{1, 1, 1},
+	}
+	g := a.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 0) || !g.HasEdge(2, 1) {
+		t.Fatal("reverse edges missing after symmetrization")
+	}
+}
+
+func TestRAPShrinksDimensions(t *testing.T) {
+	rt := par.New(2)
+	a := randomMatrix(20, 20, 0.2, 30)
+	p := &Matrix{Rows: 20, Cols: 5}
+	p.RowPtr = make([]int, 21)
+	for i := 0; i < 20; i++ {
+		p.Col = append(p.Col, int32(i/4))
+		p.Val = append(p.Val, 1)
+		p.RowPtr[i+1] = i + 1
+	}
+	c, err := RAP(rt, p.Transpose(), a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 5 || c.Cols != 5 {
+		t.Fatalf("RAP shape %dx%d", c.Rows, c.Cols)
+	}
+	// Galerkin sum property for piecewise-constant P: C_total = A_total.
+	var sa, sc float64
+	for _, v := range a.Val {
+		sa += v
+	}
+	for _, v := range c.Val {
+		sc += v
+	}
+	if math.Abs(sa-sc) > 1e-10*(1+math.Abs(sa)) {
+		t.Fatalf("Galerkin sum %g != %g", sc, sa)
+	}
+}
+
+func TestValidateNonSquareOK(t *testing.T) {
+	a := randomMatrix(3, 7, 0.5, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleZeroAndNegative(t *testing.T) {
+	a := randomMatrix(5, 5, 0.5, 11)
+	b := a.Clone()
+	b.Scale(0)
+	for _, v := range b.Val {
+		if v != 0 {
+			t.Fatal("scale 0 left nonzero")
+		}
+	}
+	c := a.Clone()
+	c.Scale(-1)
+	for i := range c.Val {
+		if c.Val[i] != -a.Val[i] {
+			t.Fatal("scale -1 wrong")
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mis2go/internal/par"
+)
+
+// randomMatrix builds a random rows x cols CSR matrix with about density
+// fraction of entries, deterministic in seed.
+func randomMatrix(rows, cols int, density float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Matrix{Rows: rows, Cols: cols}
+	m.RowPtr = make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		prev := int32(-1)
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				m.Col = append(m.Col, int32(j))
+				m.Val = append(m.Val, rng.NormFloat64())
+				prev = int32(j)
+			}
+		}
+		_ = prev
+		m.RowPtr[i+1] = len(m.Col)
+	}
+	return m
+}
+
+func toDenseSlice(a *Matrix) []float64 {
+	d := make([]float64, a.Rows*a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d[i*a.Cols+int(a.Col[p])] = a.Val[p]
+		}
+	}
+	return d
+}
+
+func denseMul(a, b []float64, n, k, m int) []float64 {
+	c := make([]float64, n*m)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < k; kk++ {
+			av := a[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				c[i*m+j] += av * b[kk*m+j]
+			}
+		}
+	}
+	return c
+}
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpMVAgainstDense(t *testing.T) {
+	rt := par.New(4)
+	f := func(seed int64) bool {
+		rows := 1 + int(uint64(seed)%40)
+		cols := 1 + int(uint64(seed)%37)
+		a := randomMatrix(rows, cols, 0.3, seed)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = float64(i%5) - 2
+		}
+		y := make([]float64, rows)
+		a.SpMV(rt, x, y)
+		d := toDenseSlice(a)
+		want := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				want[i] += d[i*cols+j] * x[j]
+			}
+		}
+		return almostEqual(y, want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyAgainstDense(t *testing.T) {
+	rt := par.New(4)
+	f := func(seed int64) bool {
+		n := 1 + int(uint64(seed)%25)
+		k := 1 + int(uint64(seed)%20)
+		m := 1 + int(uint64(seed)%22)
+		a := randomMatrix(n, k, 0.3, seed)
+		b := randomMatrix(k, m, 0.3, seed+1)
+		c, err := Multiply(rt, a, b)
+		if err != nil || c.Validate() != nil {
+			return false
+		}
+		want := denseMul(toDenseSlice(a), toDenseSlice(b), n, k, m)
+		return almostEqual(toDenseSlice(c), want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	rt := par.New(2)
+	a := randomMatrix(3, 4, 0.5, 1)
+	b := randomMatrix(5, 3, 0.5, 2)
+	if _, err := Multiply(rt, a, b); err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+}
+
+func TestMultiplyDeterministicAcrossThreads(t *testing.T) {
+	a := randomMatrix(80, 60, 0.1, 3)
+	b := randomMatrix(60, 70, 0.1, 4)
+	ref, err := Multiply(par.New(1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		c, err := Multiply(par.New(w), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Col) != len(ref.Col) {
+			t.Fatalf("nnz differs: %d vs %d", len(c.Col), len(ref.Col))
+		}
+		for i := range ref.Col {
+			if c.Col[i] != ref.Col[i] || c.Val[i] != ref.Val[i] {
+				t.Fatalf("entry %d differs across thread counts", i)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rows := 1 + int(uint64(seed)%30)
+		cols := 1 + int(uint64(seed)%30)
+		a := randomMatrix(rows, cols, 0.25, seed)
+		at := a.Transpose()
+		if at.Validate() != nil || at.Rows != cols || at.Cols != rows {
+			return false
+		}
+		da := toDenseSlice(a)
+		dt := toDenseSlice(at)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if da[i*cols+j] != dt[j*rows+i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := randomMatrix(20, 20, 0.2, 5)
+	b := randomMatrix(20, 20, 0.2, 6)
+	c, err := Add(a, b, -2.5)
+	if err != nil || c.Validate() != nil {
+		t.Fatalf("Add failed: %v", err)
+	}
+	da, db, dc := toDenseSlice(a), toDenseSlice(b), toDenseSlice(c)
+	for i := range da {
+		want := da[i] - 2.5*db[i]
+		if math.Abs(dc[i]-want) > 1e-12 {
+			t.Fatalf("entry %d: got %g want %g", i, dc[i], want)
+		}
+	}
+	if _, err := Add(a, randomMatrix(5, 5, 0.5, 7), 1); err == nil {
+		t.Fatal("Add dimension mismatch not reported")
+	}
+}
+
+func TestRAPGalerkin(t *testing.T) {
+	rt := par.New(4)
+	a := randomMatrix(12, 12, 0.3, 8)
+	p := randomMatrix(12, 4, 0.4, 9)
+	r := p.Transpose()
+	c, err := RAP(rt, r, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, dp := toDenseSlice(a), toDenseSlice(p)
+	ap := denseMul(da, dp, 12, 12, 4)
+	dr := toDenseSlice(r)
+	want := denseMul(dr, ap, 4, 12, 4)
+	if !almostEqual(toDenseSlice(c), want, 1e-10) {
+		t.Fatal("RAP mismatch with dense reference")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	a := &Matrix{Rows: 3, Cols: 3,
+		RowPtr: []int{0, 2, 3, 5},
+		Col:    []int32{0, 2, 1, 0, 2},
+		Val:    []float64{4, 1, 5, 2, 6},
+	}
+	d := a.Diagonal()
+	if d[0] != 4 || d[1] != 5 || d[2] != 6 {
+		t.Fatalf("Diagonal = %v", d)
+	}
+}
+
+func TestGraphFromMatrix(t *testing.T) {
+	// 3x3 with diagonal and off-diagonals (0,1), (1,2) stored one-sided.
+	a := &Matrix{Rows: 3, Cols: 3,
+		RowPtr: []int{0, 2, 3, 4},
+		Col:    []int32{0, 1, 1, 2},
+		Val:    []float64{2, -1, 2, 2},
+	}
+	g := a.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge 0-1 missing (symmetrization)")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 2) == false && g.NumEdges() != 2 {
+		t.Fatal("unexpected structure")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	a := randomMatrix(5, 5, 0.5, 10)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	bad.Col[0] = 99
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range column not caught")
+	}
+	bad = a.Clone()
+	if len(bad.Val) > 0 {
+		bad.Val[0] = math.NaN()
+		if bad.Validate() == nil {
+			t.Fatal("NaN not caught")
+		}
+	}
+	bad = a.Clone()
+	bad.RowPtr[1] = -1
+	if bad.Validate() == nil {
+		t.Fatal("bad RowPtr not caught")
+	}
+}
+
+func TestIdentityAndScaleClone(t *testing.T) {
+	id := Identity(4)
+	if id.Validate() != nil || id.NNZ() != 4 {
+		t.Fatal("identity malformed")
+	}
+	c := id.Clone()
+	c.Scale(3)
+	if id.Val[0] != 1 || c.Val[0] != 3 {
+		t.Fatal("Clone/Scale aliasing or arithmetic wrong")
+	}
+}
+
+func TestDenseLUSolve(t *testing.T) {
+	// Well-conditioned SPD-ish system with known solution.
+	n := 30
+	a := &Matrix{Rows: n, Cols: n}
+	a.RowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			a.Col = append(a.Col, int32(i-1))
+			a.Val = append(a.Val, -1)
+		}
+		a.Col = append(a.Col, int32(i))
+		a.Val = append(a.Val, 4)
+		if i < n-1 {
+			a.Col = append(a.Col, int32(i+1))
+			a.Val = append(a.Val, -1)
+		}
+		a.RowPtr[i+1] = len(a.Col)
+	}
+	d, err := a.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Factorize(); err != nil {
+		t.Fatal(err)
+	}
+	xWant := make([]float64, n)
+	for i := range xWant {
+		xWant[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	a.SpMV(par.New(1), xWant, b)
+	x := make([]float64, n)
+	d.Solve(b, x)
+	if !almostEqual(x, xWant, 1e-10) {
+		t.Fatal("LU solve inaccurate")
+	}
+}
+
+func TestDenseSingularDetected(t *testing.T) {
+	d := &Dense{N: 2, Data: []float64{1, 2, 2, 4}}
+	if err := d.Factorize(); err == nil {
+		t.Fatal("singular matrix not detected")
+	}
+}
+
+func TestToDenseRequiresSquare(t *testing.T) {
+	a := randomMatrix(3, 4, 0.5, 11)
+	if _, err := a.ToDense(); err == nil {
+		t.Fatal("non-square ToDense not rejected")
+	}
+}

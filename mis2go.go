@@ -1,0 +1,264 @@
+// Package mis2go is a parallel, deterministic implementation of the
+// distance-2 maximal independent set (MIS-2) algorithm and the MIS-2-based
+// graph coarsening schemes of Kelley & Rajamanickam, "Parallel, Portable
+// Algorithms for Distance-2 Maximal Independent Set and Graph Coarsening"
+// (IPDPS 2022), together with the solver stack the paper evaluates them
+// in: smoothed-aggregation algebraic multigrid and point/cluster
+// multicolor Gauss-Seidel preconditioning.
+//
+// The package is a facade over the internal implementation packages; it
+// re-exports the types and entry points a downstream user needs:
+//
+//	g := mis2go.Laplace3D(64, 64, 64)
+//	res := mis2go.MIS2(g, mis2go.MISOptions{})
+//	agg := mis2go.Aggregate(g, 0)           // Algorithm 3
+//	a := mis2go.GraphLaplacian(g, 0.05)
+//	h, _ := mis2go.NewAMG(a, mis2go.AMGOptions{})
+//	stats, _ := mis2go.SolveCG(a, b, x, 1e-10, 500, h, 0)
+//
+// All algorithms are deterministic: results are identical for every
+// worker count and across runs.
+package mis2go
+
+import (
+	"io"
+
+	"mis2go/internal/amg"
+	"mis2go/internal/coarsen"
+	"mis2go/internal/gen"
+	"mis2go/internal/graph"
+	"mis2go/internal/gs"
+	"mis2go/internal/hash"
+	"mis2go/internal/krylov"
+	"mis2go/internal/mis"
+	"mis2go/internal/mmio"
+	"mis2go/internal/par"
+	"mis2go/internal/partition"
+	"mis2go/internal/schwarz"
+	"mis2go/internal/sparse"
+)
+
+// Graph is an undirected graph in CSR form. See NewGraph and the
+// generator functions.
+type Graph = graph.CSR
+
+// Edge is an undirected edge used by NewGraph.
+type Edge = graph.Edge
+
+// NewGraph builds a graph on n vertices from an undirected edge list;
+// duplicate edges and self-loops are dropped.
+func NewGraph(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Laplace3D generates the graph of a 3D grid with a 7-point stencil
+// (the Galeri Laplace3D problem of the paper's experiments).
+func Laplace3D(nx, ny, nz int) *Graph { return gen.Laplace3D(nx, ny, nz) }
+
+// Laplace2D generates the graph of a 2D grid with a 5-point stencil.
+func Laplace2D(nx, ny int) *Graph { return gen.Laplace2D(nx, ny) }
+
+// Elasticity3D generates a 27-point stencil grid with dof unknowns per
+// point (the Galeri Elasticity3D problem; the paper uses dof=3).
+func Elasticity3D(nx, ny, nz, dof int) *Graph { return gen.Elasticity3D(nx, ny, nz, dof) }
+
+// RandomFEM generates a deterministic irregular FEM-like mesh with the
+// given average degree.
+func RandomFEM(nx, ny, nz int, avgDeg float64, seed uint64) *Graph {
+	return gen.RandomFEM(nx, ny, nz, avgDeg, seed)
+}
+
+// HashKind selects the pseudo-random priority scheme of the MIS-2
+// algorithm (paper Table I).
+type HashKind = hash.Kind
+
+// Priority schemes: HashXorStar is the production default.
+const (
+	HashXorStar = hash.XorStar
+	HashXor     = hash.Xor
+	HashFixed   = hash.Fixed
+)
+
+// MISOptions configures MIS2; the zero value is the production
+// configuration (xorshift* priorities, all optimizations, all cores).
+type MISOptions = mis.Options
+
+// MISResult reports the independent set and the iteration count.
+type MISResult = mis.Result
+
+// MIS2 computes a distance-2 maximal independent set of g using the
+// paper's Algorithm 1 with all four optimizations. Deterministic.
+func MIS2(g *Graph, opt MISOptions) MISResult { return mis.MIS2(g, opt) }
+
+// VerifyMIS2 checks distance-2 independence and maximality of set in g.
+func VerifyMIS2(g *Graph, set []int32) error { return mis.CheckMIS2(g, set) }
+
+// Aggregation assigns every vertex to an aggregate (cluster).
+type Aggregation = coarsen.Aggregation
+
+// CoarsenBasic runs Algorithm 2 (Bell et al.'s simple MIS-2 coarsening).
+func CoarsenBasic(g *Graph, threads int) Aggregation {
+	return coarsen.Basic(g, coarsen.Options{Threads: threads})
+}
+
+// Aggregate runs Algorithm 3, the paper's two-phase MIS-2 aggregation
+// with coupling-based cleanup (the scheme shipped in Kokkos Kernels).
+func Aggregate(g *Graph, threads int) Aggregation {
+	return coarsen.MIS2Aggregation(g, coarsen.Options{Threads: threads})
+}
+
+// CoarseGraph collapses g according to an aggregation: one coarse vertex
+// per aggregate.
+func CoarseGraph(g *Graph, agg Aggregation) *Graph { return coarsen.CoarseGraph(g, agg) }
+
+// Matrix is a CSR sparse matrix.
+type Matrix = sparse.Matrix
+
+// GraphLaplacian builds the SPD graph Laplacian of g with a diagonal
+// shift (shift > 0 makes it nonsingular).
+func GraphLaplacian(g *Graph, shift float64) *Matrix { return gen.Laplacian(g, shift) }
+
+// DirichletLaplacian builds the SPD constant-diagonal Laplacian
+// A = diag*I - Adj(g): the Dirichlet-boundary stencil matrix of the
+// paper's Galeri test problems (pass diag = interior stencil degree,
+// e.g. 6 for Laplace3D).
+func DirichletLaplacian(g *Graph, diag float64) *Matrix { return gen.DirichletLaplacian(g, diag) }
+
+// WeightedGraphLaplacian is GraphLaplacian with deterministic
+// pseudo-random edge weights.
+func WeightedGraphLaplacian(g *Graph, shift float64, seed uint64) *Matrix {
+	return gen.WeightedLaplacian(g, shift, seed)
+}
+
+// AMGOptions configures NewAMG; the zero value builds SA-AMG with
+// Algorithm 3 aggregation, smoothed prolongators, and 2+2 damped-Jacobi
+// sweeps, as in the paper's Table V setup.
+type AMGOptions = amg.Options
+
+// AMG is a smoothed-aggregation multigrid hierarchy; it implements
+// Preconditioner via one V-cycle per application.
+type AMG = amg.Hierarchy
+
+// AMGSmoother selects the level relaxation of the V-cycle.
+type AMGSmoother = amg.Smoother
+
+// Level smoothers: damped Jacobi (the paper's Table V setup) and
+// Chebyshev polynomials (the common MueLu alternative).
+const (
+	SmootherJacobi     = amg.SmootherJacobi
+	SmootherChebyshev  = amg.SmootherChebyshev
+	SmootherPointSGS   = amg.SmootherPointSGS
+	SmootherClusterSGS = amg.SmootherClusterSGS
+)
+
+// NewAMG builds an SA-AMG hierarchy for the SPD matrix a.
+func NewAMG(a *Matrix, opt AMGOptions) (*AMG, error) { return amg.Build(a, opt) }
+
+// Preconditioner maps a residual to an approximate error (z = M^{-1} r).
+type Preconditioner = krylov.Preconditioner
+
+// SolveStats reports iterations and the final relative residual.
+type SolveStats = krylov.Stats
+
+// SolveCG runs preconditioned conjugate gradient on the SPD system
+// A x = b (m may be nil). threads 0 means all cores.
+func SolveCG(a *Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int) (SolveStats, error) {
+	return krylov.CG(par.New(threads), a, b, x, tol, maxIter, m)
+}
+
+// SolveGMRES runs preconditioned restarted GMRES on A x = b.
+func SolveGMRES(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int) (SolveStats, error) {
+	return krylov.GMRES(par.New(threads), a, b, x, tol, maxIter, restart, m)
+}
+
+// GaussSeidel is a multicolor Gauss-Seidel operator (point or cluster).
+type GaussSeidel = gs.Multicolor
+
+// NewPointSGS sets up point multicolor symmetric Gauss-Seidel for a.
+func NewPointSGS(a *Matrix, threads int) (*GaussSeidel, error) { return gs.NewPoint(a, threads) }
+
+// NewClusterSGS sets up cluster multicolor symmetric Gauss-Seidel
+// (Algorithm 4) for a, using Algorithm 3 to form the clusters.
+func NewClusterSGS(a *Matrix, threads int) (*GaussSeidel, error) {
+	agg := coarsen.MIS2Aggregation(a.Graph(), coarsen.Options{Threads: threads})
+	return gs.NewCluster(a, agg, threads)
+}
+
+// NewClusterSGSFrom sets up cluster multicolor Gauss-Seidel from a
+// caller-provided aggregation.
+func NewClusterSGSFrom(a *Matrix, agg Aggregation, threads int) (*GaussSeidel, error) {
+	return gs.NewCluster(a, agg, threads)
+}
+
+// MISK computes a distance-k maximal independent set: Algorithm 1 for
+// k == 2 and the Bell/Dalton/Olson general-k propagation otherwise.
+// Deterministic for all k.
+func MISK(g *Graph, k, threads int) MISResult {
+	if k == 2 {
+		return mis.MIS2(g, mis.Options{Threads: threads})
+	}
+	return mis.BellMISK(g, mis.BellOptions{K: k, Rehash: true, Threads: threads})
+}
+
+// VerifyMISK checks distance-k independence and maximality of set in g
+// (test-scale graphs; O(|set|·(V+E)) time).
+func VerifyMISK(g *Graph, set []int32, k int) error { return mis.CheckMISK(g, set, k) }
+
+// JacobiPreconditioner returns the diagonal preconditioner for a.
+func JacobiPreconditioner(a *Matrix) (Preconditioner, error) { return krylov.Jacobi(a) }
+
+// PartitionOptions configures Bisect.
+type PartitionOptions = partition.Options
+
+// PartitionResult reports a graph bisection.
+type PartitionResult = partition.Result
+
+// Partitioning policy re-exports: coarsening scheme of the multilevel
+// bisection (the paper's future-work application).
+const (
+	PartitionMIS2 = partition.MIS2Policy
+	PartitionHEM  = partition.HEMPolicy
+)
+
+// Bisect splits g into two balanced parts with multilevel partitioning,
+// coarsening by MIS-2 aggregation (or HEM via PartitionOptions.Policy).
+func Bisect(g *Graph, opt PartitionOptions) (PartitionResult, error) {
+	return partition.Partition(g, opt)
+}
+
+// KWayResult reports a k-way partition from PartitionKWay.
+type KWayResult = partition.KWayResult
+
+// PartitionKWay splits g into k parts (k a power of two) by recursive
+// multilevel bisection.
+func PartitionKWay(g *Graph, k int, opt PartitionOptions) (KWayResult, error) {
+	return partition.KWay(g, k, opt)
+}
+
+// SchwarzOptions configures NewSchwarz.
+type SchwarzOptions = schwarz.Options
+
+// Schwarz is a two-level overlapping additive Schwarz preconditioner:
+// subdomains from MIS-2-coarsened multilevel partitioning, a coarse
+// space from MIS-2 aggregation (the domain-decomposition use case the
+// paper's introduction cites).
+type Schwarz = schwarz.Preconditioner
+
+// NewSchwarz builds the additive Schwarz preconditioner for a.
+func NewSchwarz(a *Matrix, opt SchwarzOptions) (*Schwarz, error) { return schwarz.New(a, opt) }
+
+// AggregationQuality summarizes an aggregation: coarsening rate, size
+// spread, and the fraction of edges crossing aggregates.
+type AggregationQuality = coarsen.QualityStats
+
+// QualityOf computes AggregationQuality for an aggregation of g.
+func QualityOf(g *Graph, agg Aggregation) AggregationQuality { return coarsen.Quality(g, agg) }
+
+// ReadMatrixMarket parses a Matrix Market stream into a sparse matrix
+// (e.g. a SuiteSparse .mtx file for the paper's real test matrices).
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mmio.ReadMatrix(r) }
+
+// ReadGraphMatrixMarket parses a Matrix Market stream as an undirected
+// graph (pattern, symmetrized, diagonal dropped).
+func ReadGraphMatrixMarket(r io.Reader) (*Graph, error) { return mmio.ReadGraph(r) }
+
+// WriteMatrixMarket writes a matrix in coordinate real general format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return mmio.WriteMatrix(w, m) }
