@@ -1,0 +1,25 @@
+# Makefile — build, test, and perf-trajectory targets.
+#
+# `make bench` runs the tracked hot-path micro-benchmarks and writes
+# BENCH_PR$(PR).json with current numbers joined against the committed
+# seed baseline (BENCH_SEED.json), including per-benchmark speedups.
+
+PR ?= 1
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkSpMVHot|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated'
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=1 . \
+		| go run ./cmd/benchjson -baseline BENCH_SEED.json -label pr$(PR) -out BENCH_PR$(PR).json

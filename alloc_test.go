@@ -1,0 +1,144 @@
+// Allocation-regression tests: the hot paths must perform zero heap
+// allocations after setup. Each test measures with testing.AllocsPerRun
+// at one worker, where every kernel takes its closure-free serial fast
+// path and scratch comes from workspaces, preallocated level vectors, or
+// the arena. A regression here means a hot loop started allocating —
+// exactly the per-call cost the persistent pool and arenas exist to
+// remove.
+package mis2go
+
+import (
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/gs"
+	"mis2go/internal/krylov"
+	"mis2go/internal/par"
+)
+
+func TestSpMVZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(16, 16, 16)
+	a := gen.Laplacian(g, 0.1)
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	rt := par.New(1)
+	allocs := testing.AllocsPerRun(20, func() {
+		a.SpMV(rt, x, y)
+	})
+	if allocs != 0 {
+		t.Fatalf("SpMV: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCGWorkspaceZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	n := a.Rows
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	m, err := krylov.Jacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := par.New(1)
+	ws := krylov.NewWorkspace(n)
+	// Warm-up solve (also verifies convergence so the error path with
+	// its fmt.Errorf allocation is never taken during measurement).
+	if _, err := krylov.CGWith(rt, a, b, x, 1e-8, 500, m, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := krylov.CGWith(rt, a, b, x, 1e-8, 500, m, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CG solve with workspace: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestFacadeSolveCGWithZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	n := a.Rows
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	m, err := JacobiPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewSolverWorkspace(n)
+	if _, err := SolveCGWith(a, b, x, 1e-8, 500, m, 1, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := SolveCGWith(a, b, x, 1e-8, 500, m, 1, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("facade SolveCGWith: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestVCycleZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	h, err := NewAMG(a, AMGOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		h.Precondition(r, z)
+	})
+	if allocs != 0 {
+		t.Fatalf("V-cycle apply: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestGSSweepZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	for name, build := range map[string]func() (*gs.Multicolor, error){
+		"point":   func() (*gs.Multicolor, error) { return gs.NewPoint(a, 1) },
+		"cluster": func() (*gs.Multicolor, error) { return NewClusterSGS(a, 1) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := a.Rows
+		b := make([]float64, n)
+		x := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i%5) - 2
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			m.Apply(b, x, 1, true)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s GS sweep: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}

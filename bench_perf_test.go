@@ -1,0 +1,182 @@
+// Hot-path micro-benchmarks tracked in the BENCH_*.json perf trajectory:
+// iteration-heavy kernels (repeated SpGEMM/RAP, CG solves, V-cycle and
+// Gauss-Seidel applications, repeated MIS-2) whose per-call scheduling and
+// allocation cost the persistent worker pool and scratch arenas remove.
+// Run via `make bench`, which writes BENCH_PR<N>.json.
+package mis2go
+
+import (
+	"testing"
+
+	"mis2go/internal/coarsen"
+	"mis2go/internal/gen"
+	"mis2go/internal/gs"
+	"mis2go/internal/krylov"
+	"mis2go/internal/mis"
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+// BenchmarkRepeatedMultiply measures back-to-back SpGEMM calls with the
+// same operands, the pattern of AMG setup (accumulator reuse target).
+func BenchmarkRepeatedMultiply(b *testing.B) {
+	g := gen.Laplace3D(20, 20, 20)
+	a := gen.Laplacian(g, 0.1)
+	agg := coarsen.MIS2Aggregation(g, coarsen.Options{})
+	p := coarsen.Prolongator(agg)
+	rt := par.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.Multiply(rt, a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepeatedRAP measures the Galerkin triple product repeated with
+// the same operands (two chained SpGEMMs sharing accumulators).
+func BenchmarkRepeatedRAP(b *testing.B) {
+	g := gen.Laplace3D(20, 20, 20)
+	a := gen.Laplacian(g, 0.1)
+	agg := coarsen.MIS2Aggregation(g, coarsen.Options{})
+	p := coarsen.Prolongator(agg)
+	r := p.Transpose()
+	rt := par.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.RAP(rt, r, a, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCGJacobi measures repeated Jacobi-preconditioned CG solves of
+// the same system, the repeated-solve pattern Workspace reuse targets.
+func BenchmarkCGJacobi(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	a := gen.Laplacian(g, 1e-4)
+	n := a.Rows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	m, err := krylov.Jacobi(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := par.New(0)
+	x := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := krylov.CG(rt, a, rhs, x, 1e-8, 400, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCGJacobiWorkspace is BenchmarkCGJacobi through a reused
+// SolverWorkspace: the zero-allocation repeated-solve path.
+func BenchmarkCGJacobiWorkspace(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	a := gen.Laplacian(g, 1e-4)
+	n := a.Rows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	m, err := krylov.Jacobi(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := par.New(0)
+	x := make([]float64, n)
+	ws := krylov.NewWorkspace(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := krylov.CGWith(rt, a, rhs, x, 1e-8, 400, m, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpMVHot measures the bare SpMV kernel on a mesh matrix.
+func BenchmarkSpMVHot(b *testing.B) {
+	g := gen.Laplace3D(40, 40, 40)
+	a := gen.Laplacian(g, 0.1)
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	rt := par.New(0)
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SpMV(rt, x, y)
+	}
+}
+
+// BenchmarkVCycleApply measures one V-cycle application (the AMG
+// preconditioner cost inside every CG iteration).
+func BenchmarkVCycleApply(b *testing.B) {
+	g := gen.Laplace3D(20, 20, 20)
+	a := gen.Laplacian(g, 1e-4)
+	h, err := NewAMG(a, AMGOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.Rows
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Precondition(r, z)
+	}
+}
+
+// BenchmarkGSSweepApply measures one symmetric multicolor GS sweep.
+func BenchmarkGSSweepApply(b *testing.B) {
+	g := gen.Laplace3D(20, 20, 20)
+	a := gen.Laplacian(g, 1e-4)
+	m, err := gs.NewPoint(a, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.Rows
+	rhs := make([]float64, n)
+	x := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(rhs, x, 1, true)
+	}
+}
+
+// BenchmarkMIS2Repeated measures back-to-back MIS-2 setups on the same
+// graph (the arena reuse target for t/m and the worklists).
+func BenchmarkMIS2Repeated(b *testing.B) {
+	g := gen.Laplace3D(32, 32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mis.MIS2(g, mis.Options{})
+	}
+}

@@ -1,0 +1,180 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into the BENCH_*.json perf-trajectory format, optionally joining a
+// baseline file so each benchmark records before/after numbers and the
+// speedup. Used by `make bench`:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -baseline BENCH_SEED.json -out BENCH_PR1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurements.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"bytes_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// Entry pairs current numbers with an optional baseline.
+type Entry struct {
+	Seed *Metrics `json:"seed,omitempty"`
+	Cur  *Metrics `json:"current"`
+	// Speedup is seed ns/op divided by current ns/op (higher is better).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// File is the on-disk BENCH_*.json layout.
+type File struct {
+	Label      string           `json:"label"`
+	GoMaxProcs int              `json:"gomaxprocs,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json to join as the seed column")
+	label := flag.String("label", "current", "label recorded in the output")
+	flag.Parse()
+
+	cur, procs, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var base map[string]Metrics
+	if *baseline != "" {
+		base, err = readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	f := File{Label: *label, GoMaxProcs: procs, Benchmarks: map[string]Entry{}}
+	for name, m := range cur {
+		m := m
+		e := Entry{Cur: &m}
+		if b, ok := base[name]; ok {
+			b := b
+			e.Seed = &b
+			if m.NsPerOp > 0 {
+				e.Speedup = round3(b.NsPerOp / m.NsPerOp)
+			}
+		}
+		f.Benchmarks[name] = e
+	}
+
+	enc, err := marshalStable(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Println(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(f.Benchmarks))
+	for n := range f.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := f.Benchmarks[n]
+		if e.Seed != nil {
+			fmt.Printf("%-28s %12.0f ns/op  (seed %12.0f, %.2fx)\n", n, e.Cur.NsPerOp, e.Seed.NsPerOp, e.Speedup)
+		} else {
+			fmt.Printf("%-28s %12.0f ns/op\n", n, e.Cur.NsPerOp)
+		}
+	}
+	fmt.Println("wrote", *out)
+}
+
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
+
+// parseBench extracts Benchmark lines from `go test -bench -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkName      556   2203845 ns/op   934240 B/op   15232 allocs/op
+func parseBench(src *os.File) (map[string]Metrics, int, error) {
+	res := map[string]Metrics{}
+	procs := 0
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -N GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
+				procs = p
+				name = name[:i]
+			}
+		}
+		var m Metrics
+		for k := 1; k+1 < len(fields); k++ {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[k+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if m.NsPerOp > 0 {
+			res[name] = m
+		}
+	}
+	return res, procs, sc.Err()
+}
+
+// readBaseline accepts a previous benchjson file and returns its
+// current-column metrics keyed by benchmark name.
+func readBaseline(path string) (map[string]Metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]Metrics{}
+	for name, e := range f.Benchmarks {
+		if e.Cur != nil {
+			out[name] = *e.Cur
+		}
+	}
+	return out, nil
+}
+
+// marshalStable renders the file with sorted benchmark keys.
+func marshalStable(f File) ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

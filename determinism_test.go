@@ -1,0 +1,115 @@
+// Determinism tests: every algorithm must produce byte-identical results
+// for any worker count. The persistent worker pool claims blocks with an
+// atomic counter (work stealing), so these tests pin the contract that
+// the schedule never leaks into results — the blocking is a fixed
+// function of (n, workers), blocks write disjoint ranges, and all
+// floating-point reductions run in a scheduling-independent order.
+// Run with -race to also exercise the pool's synchronization.
+package mis2go
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/graph"
+)
+
+var detWorkerCounts = []int{1, 2, 8}
+
+func detGraphs() map[string]*graph.CSR {
+	return map[string]*graph.CSR{
+		"laplace3d": gen.Laplace3D(24, 24, 24),
+		"randomfem": gen.RandomFEM(12, 12, 12, 18, 7),
+	}
+}
+
+func TestMIS2DeterministicAcrossWorkers(t *testing.T) {
+	for name, g := range detGraphs() {
+		var ref MISResult
+		for k, threads := range detWorkerCounts {
+			res := MIS2(g, MISOptions{Threads: threads})
+			if k == 0 {
+				ref = res
+				if err := VerifyMIS2(g, res.InSet); err != nil {
+					t.Fatalf("%s: invalid MIS-2: %v", name, err)
+				}
+				continue
+			}
+			if res.Iterations != ref.Iterations {
+				t.Fatalf("%s: %d workers: %d iterations, want %d", name, threads, res.Iterations, ref.Iterations)
+			}
+			if len(res.InSet) != len(ref.InSet) {
+				t.Fatalf("%s: %d workers: |InSet|=%d, want %d", name, threads, len(res.InSet), len(ref.InSet))
+			}
+			for i := range res.InSet {
+				if res.InSet[i] != ref.InSet[i] {
+					t.Fatalf("%s: %d workers: InSet[%d]=%d, want %d", name, threads, i, res.InSet[i], ref.InSet[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateDeterministicAcrossWorkers(t *testing.T) {
+	for name, g := range detGraphs() {
+		var ref Aggregation
+		for k, threads := range detWorkerCounts {
+			agg := Aggregate(g, threads)
+			if k == 0 {
+				ref = agg
+				continue
+			}
+			if agg.NumAggregates != ref.NumAggregates {
+				t.Fatalf("%s: %d workers: %d aggregates, want %d", name, threads, agg.NumAggregates, ref.NumAggregates)
+			}
+			for v := range agg.Labels {
+				if agg.Labels[v] != ref.Labels[v] {
+					t.Fatalf("%s: %d workers: label[%d]=%d, want %d", name, threads, v, agg.Labels[v], ref.Labels[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveCGDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.Laplace3D(24, 24, 24)
+	a := GraphLaplacian(g, 1e-4)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	m, err := JacobiPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refX []uint64
+	var refStats SolveStats
+	for k, threads := range detWorkerCounts {
+		x := make([]float64, n)
+		st, err := SolveCG(a, b, x, 1e-10, 600, m, threads)
+		if err != nil {
+			t.Fatalf("%d workers: %v", threads, err)
+		}
+		bits := make([]uint64, n)
+		for i, v := range x {
+			bits[i] = math.Float64bits(v)
+		}
+		if k == 0 {
+			refX, refStats = bits, st
+			continue
+		}
+		if st.Iterations != refStats.Iterations {
+			t.Fatalf("%d workers: %d iterations, want %d", threads, st.Iterations, refStats.Iterations)
+		}
+		if math.Float64bits(st.RelResidual) != math.Float64bits(refStats.RelResidual) {
+			t.Fatalf("%d workers: relres %g, want %g (bitwise)", threads, st.RelResidual, refStats.RelResidual)
+		}
+		for i := range bits {
+			if bits[i] != refX[i] {
+				t.Fatalf("%d workers: x[%d] differs bitwise: %x vs %x", threads, i, bits[i], refX[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mis2go
+
+go 1.24

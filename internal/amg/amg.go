@@ -130,6 +130,42 @@ type Hierarchy struct {
 	coarse *sparse.Dense
 	opt    Options
 	rt     *par.Runtime
+	// solveR is the fine-level residual scratch of Solve, preallocated
+	// so stationary iterations allocate nothing.
+	solveR []float64
+}
+
+// residualInto computes dst = b - r elementwise (dst may alias r); the
+// single-worker path runs inline so V-cycles allocate nothing.
+func residualInto(rt *par.Runtime, b, r, dst []float64) {
+	n := len(dst)
+	if rt.Serial(n) {
+		for i := 0; i < n; i++ {
+			dst[i] = b[i] - r[i]
+		}
+		return
+	}
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = b[i] - r[i]
+		}
+	})
+}
+
+// addInto computes x += d elementwise.
+func addInto(rt *par.Runtime, x, d []float64) {
+	n := len(x)
+	if rt.Serial(n) {
+		for i := 0; i < n; i++ {
+			x[i] += d[i]
+		}
+		return
+	}
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] += d[i]
+		}
+	})
 }
 
 // Build constructs the hierarchy for SPD matrix a.
@@ -148,7 +184,8 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 	for level := 0; ; level++ {
 		l := &Level{A: cur}
 		l.dinv = make([]float64, cur.Rows)
-		for i, d := range cur.Diagonal() {
+		cur.DiagonalInto(rt, l.dinv)
+		for i, d := range l.dinv {
 			if d == 0 {
 				return nil, fmt.Errorf("amg: zero diagonal at row %d of level %d", i, level)
 			}
@@ -167,7 +204,7 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 			}
 			l.gsOp = op
 		case SmootherClusterSGS:
-			agg := coarsen.MIS2Aggregation(cur.Graph(), coarsen.Options{Threads: opt.Threads})
+			agg := coarsen.MIS2Aggregation(cur.GraphWith(rt), coarsen.Options{Threads: opt.Threads})
 			op, err := gs.NewCluster(cur, agg, opt.Threads)
 			if err != nil {
 				return nil, fmt.Errorf("amg: level %d cluster SGS setup: %w", level, err)
@@ -180,7 +217,7 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 			break
 		}
 
-		g := cur.Graph()
+		g := cur.GraphWith(rt)
 		agg := opt.Aggregate(g)
 		if err := coarsen.Check(g, agg); err != nil {
 			return nil, fmt.Errorf("amg: level %d aggregation: %w", level, err)
@@ -198,7 +235,7 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 				return nil, fmt.Errorf("amg: level %d prolongator smoothing: %w", level, err)
 			}
 		}
-		r := p.Transpose()
+		r := p.TransposeWith(rt)
 		ac, err := sparse.RAP(rt, r, cur, p)
 		if err != nil {
 			return nil, fmt.Errorf("amg: level %d Galerkin product: %w", level, err)
@@ -303,30 +340,27 @@ func (h *Hierarchy) Precondition(r, z []float64) {
 // Precondition for production solves).
 func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float64) {
 	n := h.Levels[0].A.Rows
-	r := make([]float64, n)
+	if cap(h.solveR) < n {
+		h.solveR = make([]float64, n)
+	}
+	r := h.solveR[:n]
 	bnorm := norm2(b)
 	if bnorm == 0 {
 		bnorm = 1
 	}
 	for it := 0; it < maxIter; it++ {
 		h.Levels[0].A.SpMV(h.rt, x, r)
-		for i := range r {
-			r[i] = b[i] - r[i]
-		}
+		residualInto(h.rt, b, r, r)
 		rel := norm2(r) / bnorm
 		if rel < tol {
 			return it, rel
 		}
 		copy(h.Levels[0].b, r)
 		h.vcycle(0)
-		for i := range x {
-			x[i] += h.Levels[0].x[i]
-		}
+		addInto(h.rt, x, h.Levels[0].x)
 	}
 	h.Levels[0].A.SpMV(h.rt, x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
+	residualInto(h.rt, b, r, r)
 	return maxIter, norm2(r) / bnorm
 }
 
@@ -334,7 +368,6 @@ func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float6
 // leaving the correction in l.x.
 func (h *Hierarchy) vcycle(level int) {
 	l := h.Levels[level]
-	n := l.A.Rows
 	if level == len(h.Levels)-1 {
 		h.coarse.Solve(l.b, l.x)
 		return
@@ -345,21 +378,13 @@ func (h *Hierarchy) vcycle(level int) {
 	h.smooth(l, h.opt.PreSweeps)
 	// Residual and restriction.
 	l.A.SpMV(h.rt, l.x, l.r)
-	h.rt.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			l.r[i] = l.b[i] - l.r[i]
-		}
-	})
+	residualInto(h.rt, l.b, l.r, l.r)
 	next := h.Levels[level+1]
 	l.R.SpMV(h.rt, l.r, next.b)
 	h.vcycle(level + 1)
 	// Prolongate and correct.
 	l.P.SpMV(h.rt, next.x, l.r)
-	h.rt.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			l.x[i] += l.r[i]
-		}
-	})
+	addInto(h.rt, l.x, l.r)
 	h.smooth(l, h.opt.PostSweeps)
 }
 
@@ -392,37 +417,41 @@ func (h *Hierarchy) chebyshev(l *Level) {
 
 	// r = b - A x ; d = Dinv r / theta
 	l.A.SpMV(rt, l.x, l.r)
-	rt.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			l.r[i] = l.b[i] - l.r[i]
-			l.d[i] = l.dinv[i] * l.r[i] / theta
-		}
-	})
+	if rt.Serial(n) {
+		chebInitRange(l, theta, 0, n)
+	} else {
+		rt.For(n, func(lo, hi int) { chebInitRange(l, theta, lo, hi) })
+	}
 	for k := 1; k < h.opt.ChebyshevDegree; k++ {
-		rt.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				l.x[i] += l.d[i]
-			}
-		})
+		addInto(rt, l.x, l.d)
 		// Recompute the residual against the updated iterate (one extra
 		// SpMV per degree, robust against drift).
 		l.A.SpMV(rt, l.x, l.r)
 		rhoNew := 1 / (2*sigma - rhoOld)
 		coef1 := rhoNew * rhoOld
 		coef2 := 2 * rhoNew / delta
-		rt.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				r := l.b[i] - l.r[i]
-				l.d[i] = coef1*l.d[i] + coef2*l.dinv[i]*r
-			}
-		})
+		if rt.Serial(n) {
+			chebStepRange(l, coef1, coef2, 0, n)
+		} else {
+			rt.For(n, func(lo, hi int) { chebStepRange(l, coef1, coef2, lo, hi) })
+		}
 		rhoOld = rhoNew
 	}
-	rt.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			l.x[i] += l.d[i]
-		}
-	})
+	addInto(rt, l.x, l.d)
+}
+
+func chebInitRange(l *Level, theta float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		l.r[i] = l.b[i] - l.r[i]
+		l.d[i] = l.dinv[i] * l.r[i] / theta
+	}
+}
+
+func chebStepRange(l *Level, coef1, coef2 float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r := l.b[i] - l.r[i]
+		l.d[i] = coef1*l.d[i] + coef2*l.dinv[i]*r
+	}
 }
 
 // jacobi runs damped Jacobi sweeps on l.A x = l.b, updating l.x in place.
@@ -431,11 +460,17 @@ func (h *Hierarchy) jacobi(l *Level, sweeps int) {
 	omega := h.opt.JacobiDamping
 	for s := 0; s < sweeps; s++ {
 		l.A.SpMV(h.rt, l.x, l.r)
-		h.rt.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				l.x[i] += omega * l.dinv[i] * (l.b[i] - l.r[i])
-			}
-		})
+		if h.rt.Serial(n) {
+			jacobiRange(l, omega, 0, n)
+		} else {
+			h.rt.For(n, func(lo, hi int) { jacobiRange(l, omega, lo, hi) })
+		}
+	}
+}
+
+func jacobiRange(l *Level, omega float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		l.x[i] += omega * l.dinv[i] * (l.b[i] - l.r[i])
 	}
 }
 

@@ -51,7 +51,7 @@ func NewPoint(a *sparse.Matrix, threads int) (*Multicolor, error) {
 	if err != nil {
 		return nil, err
 	}
-	colors := color.Parallel(a.Graph(), threads)
+	colors := color.Parallel(a.GraphWith(m.rt), threads)
 	m.groups = color.Sets(colors)
 	m.NumColors = len(m.groups)
 	return m, nil
@@ -65,7 +65,7 @@ func NewCluster(a *sparse.Matrix, agg coarsen.Aggregation, threads int) (*Multic
 	if err != nil {
 		return nil, err
 	}
-	g := a.Graph()
+	g := a.GraphWith(m.rt)
 	if err := coarsen.Check(g, agg); err != nil {
 		return nil, fmt.Errorf("gs: bad aggregation: %w", err)
 	}
@@ -89,15 +89,16 @@ func newCommon(a *sparse.Matrix, threads int) (*Multicolor, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("gs: matrix must be square")
 	}
-	d := a.Diagonal()
-	dinv := make([]float64, len(d))
-	for i, v := range d {
+	rt := par.New(threads)
+	dinv := make([]float64, a.Rows)
+	a.DiagonalInto(rt, dinv)
+	for i, v := range dinv {
 		if v == 0 {
 			return nil, fmt.Errorf("gs: zero diagonal at row %d", i)
 		}
 		dinv[i] = 1 / v
 	}
-	return &Multicolor{a: a, dinv: dinv, omega: 1, rt: par.New(threads)}, nil
+	return &Multicolor{a: a, dinv: dinv, omega: 1, rt: rt}, nil
 }
 
 // SetOmega sets the SOR over-relaxation factor; omega must lie in (0, 2)
@@ -131,6 +132,8 @@ func (m *Multicolor) relaxRow(i int32, b, x []float64) {
 // Sweep performs one multicolor sweep updating x in place. forward selects
 // the color order; for the cluster method the row order inside each
 // cluster follows the sweep direction (paper §III-C symmetric variant).
+// Single-worker sweeps run inline without closures, so a set-up operator
+// sweeps without allocating.
 func (m *Multicolor) Sweep(b, x []float64, forward bool) {
 	nc := len(m.groups)
 	for ci := 0; ci < nc; ci++ {
@@ -139,28 +142,35 @@ func (m *Multicolor) Sweep(b, x []float64, forward bool) {
 			c = nc - 1 - ci
 		}
 		set := m.groups[c]
-		if m.clusterRows == nil {
-			m.rt.For(len(set), func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					m.relaxRow(set[k], b, x)
-				}
-			})
+		if m.rt.Serial(len(set)) {
+			m.relaxSet(set, b, x, forward, 0, len(set))
 			continue
 		}
 		m.rt.For(len(set), func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				rows := m.clusterRows[set[k]]
-				if forward {
-					for _, i := range rows {
-						m.relaxRow(i, b, x)
-					}
-				} else {
-					for r := len(rows) - 1; r >= 0; r-- {
-						m.relaxRow(rows[r], b, x)
-					}
-				}
-			}
+			m.relaxSet(set, b, x, forward, lo, hi)
 		})
+	}
+}
+
+// relaxSet relaxes the units set[lo:hi] of one color class.
+func (m *Multicolor) relaxSet(set []int32, b, x []float64, forward bool, lo, hi int) {
+	if m.clusterRows == nil {
+		for k := lo; k < hi; k++ {
+			m.relaxRow(set[k], b, x)
+		}
+		return
+	}
+	for k := lo; k < hi; k++ {
+		rows := m.clusterRows[set[k]]
+		if forward {
+			for _, i := range rows {
+				m.relaxRow(i, b, x)
+			}
+		} else {
+			for r := len(rows) - 1; r >= 0; r-- {
+				m.relaxRow(rows[r], b, x)
+			}
+		}
 	}
 }
 

@@ -62,12 +62,20 @@ type Stats struct {
 // ErrNotConverged is wrapped by solvers that hit the iteration limit.
 var ErrNotConverged = errors.New("krylov: did not converge")
 
+// dot computes the inner product with a 4-way unrolled dual-accumulator
+// loop. The summation order is a fixed function of the vector length, so
+// results are identical for every worker count.
 func dot(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
+	var s0, s1 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i]*b[i] + a[i+1]*b[i+1]
+		s1 += a[i+2]*b[i+2] + a[i+3]*b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1
 }
 
 func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
@@ -79,11 +87,75 @@ func axpy(alpha float64, x, y []float64) {
 	}
 }
 
+// Workspace holds the scratch vectors of CG and GMRES so that repeated
+// solves allocate nothing. A zero Workspace is ready for use; buffers
+// grow on demand and are retained between solves. Not safe for
+// concurrent use.
+type Workspace struct {
+	r, z, p, ap []float64
+	// GMRES state (allocated only when GMRES is used).
+	v       [][]float64
+	h       [][]float64
+	cs, sn  []float64
+	s, y    []float64
+	zb      []float64
+	restart int
+}
+
+// NewWorkspace returns a Workspace pre-sized for systems of n unknowns.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensureCG(n)
+	return w
+}
+
+// grow returns s resized to length n, reusing capacity when possible.
+func grow(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func (w *Workspace) ensureCG(n int) {
+	w.r = grow(w.r, n)
+	w.z = grow(w.z, n)
+	w.p = grow(w.p, n)
+	w.ap = grow(w.ap, n)
+}
+
+func (w *Workspace) ensureGMRES(n, restart int) {
+	w.ensureCG(n) // r, z, ap (as the w vector) are shared
+	if w.restart < restart || len(w.v) == 0 || len(w.v[0]) < n {
+		w.v = make([][]float64, restart+1)
+		for i := range w.v {
+			w.v[i] = make([]float64, n)
+		}
+		w.h = make([][]float64, restart+1)
+		for i := range w.h {
+			w.h[i] = make([]float64, restart)
+		}
+		w.cs = make([]float64, restart)
+		w.sn = make([]float64, restart)
+		w.s = make([]float64, restart+1)
+		w.y = make([]float64, restart)
+		w.restart = restart
+	}
+	w.zb = grow(w.zb, n)
+}
+
 // CG solves A x = b for SPD A with the preconditioned conjugate gradient
 // method. x holds the initial guess on entry and the solution on exit.
 // Iterations stop when the recurrence residual drops below tol*||b|| or
 // maxIter is reached; Stats reports the true final residual.
 func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner) (Stats, error) {
+	return CGWith(rt, a, b, x, tol, maxIter, m, nil)
+}
+
+// CGWith is CG with a caller-provided Workspace; repeated solves through
+// the same Workspace perform no allocations. ws may be nil, in which
+// case a temporary workspace is allocated.
+func CGWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
 	n := a.Rows
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: CG size mismatch (n=%d, len(b)=%d, len(x)=%d)", n, len(b), len(x))
@@ -91,14 +163,21 @@ func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter 
 	if m == nil {
 		m = Identity()
 	}
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.ensureCG(n)
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
 	a.SpMV(rt, x, r)
+	// rr accumulates ||r||^2 with a single accumulator in index order —
+	// a fixed summation order, so convergence behavior is identical for
+	// every worker count — fused into the vector updates to save a pass.
+	rr := 0.0
 	for i := range r {
-		r[i] = b[i] - r[i]
+		ri := b[i] - r[i]
+		r[i] = ri
+		rr += ri * ri
 	}
 	bnorm := norm2(b)
 	if bnorm == 0 {
@@ -111,19 +190,27 @@ func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter 
 	iters := 0
 	met := false
 	for ; iters < maxIter; iters++ {
-		if norm2(r)/bnorm < tol {
+		if math.Sqrt(rr)/bnorm < tol {
 			met = true
 			break
 		}
 		a.SpMV(rt, p, ap)
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return Stats{Iterations: iters, RelResidual: norm2(r) / bnorm},
+			return Stats{Iterations: iters, RelResidual: math.Sqrt(rr) / bnorm},
 				fmt.Errorf("krylov: CG breakdown, p^T A p = %g (matrix not SPD?)", pap)
 		}
 		alpha := rz / pap
-		axpy(alpha, p, x)
-		axpy(-alpha, ap, r)
+		// Fused update of x and r with the residual norm of the new r
+		// accumulated in the same pass (single accumulator, index order:
+		// a fixed, scheduling-independent summation order).
+		rr = 0
+		for i := range r {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rr += ri * ri
+		}
 		m.Precondition(r, z)
 		rzNew := dot(r, z)
 		beta := rzNew / rz
@@ -132,7 +219,7 @@ func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter 
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	rel := finalResidual(rt, a, b, x, bnorm)
+	rel := finalResidualWith(rt, a, b, x, bnorm, ap)
 	if iters < maxIter {
 		met = true // loop exited on the residual test
 	}
@@ -146,6 +233,12 @@ func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter 
 // GMRES solves A x = b with left-preconditioned restarted GMRES(restart).
 // x holds the initial guess on entry and the solution on exit.
 func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner) (Stats, error) {
+	return GMRESWith(rt, a, b, x, tol, maxIter, restart, m, nil)
+}
+
+// GMRESWith is GMRES with a caller-provided Workspace; repeated solves
+// through the same Workspace perform no allocations. ws may be nil.
+func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
 	n := a.Rows
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: GMRES size mismatch")
@@ -159,9 +252,13 @@ func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIt
 	if restart > maxIter {
 		restart = maxIter
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.ensureGMRES(n, restart)
 
 	// Preconditioned right-hand side norm for the stopping test.
-	zb := make([]float64, n)
+	zb := ws.zb
 	m.Precondition(b, zb)
 	zbnorm := norm2(zb)
 	if zbnorm == 0 {
@@ -172,22 +269,11 @@ func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIt
 		bnorm = 1
 	}
 
-	r := make([]float64, n)
-	z := make([]float64, n)
-	w := make([]float64, n)
-	// Krylov basis.
-	v := make([][]float64, restart+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := make([][]float64, restart+1) // Hessenberg, h[i][j]
-	for i := range h {
-		h[i] = make([]float64, restart)
-	}
-	cs := make([]float64, restart)
-	sn := make([]float64, restart)
-	s := make([]float64, restart+1)
-	y := make([]float64, restart)
+	r, z, w := ws.r, ws.z, ws.ap
+	v := ws.v // Krylov basis
+	h := ws.h // Hessenberg, h[i][j]
+	cs, sn := ws.cs, ws.sn
+	s, y := ws.s, ws.y
 
 	totalIters := 0
 	met := false
@@ -268,7 +354,7 @@ func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIt
 			break // stagnation
 		}
 	}
-	rel := finalResidual(rt, a, b, x, bnorm)
+	rel := finalResidualWith(rt, a, b, x, bnorm, r)
 	st := Stats{Iterations: totalIters, RelResidual: rel, Converged: met || rel < tol}
 	if !st.Converged {
 		return st, fmt.Errorf("%w: GMRES after %d iterations, relres %.3e", ErrNotConverged, totalIters, rel)
@@ -276,11 +362,14 @@ func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIt
 	return st, nil
 }
 
-func finalResidual(rt *par.Runtime, a *sparse.Matrix, b, x []float64, bnorm float64) float64 {
-	r := make([]float64, a.Rows)
-	a.SpMV(rt, x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
+// finalResidualWith computes ||b - Ax|| / bnorm using scratch as the
+// residual buffer (its contents are overwritten).
+func finalResidualWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, bnorm float64, scratch []float64) float64 {
+	a.SpMV(rt, x, scratch)
+	rr := 0.0
+	for i := range scratch {
+		ri := b[i] - scratch[i]
+		rr += ri * ri
 	}
-	return norm2(r) / bnorm
+	return math.Sqrt(rr) / bnorm
 }

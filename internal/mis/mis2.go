@@ -63,6 +63,10 @@ func MIS2(g *graph.CSR, opt Options) Result {
 // mis2Packed is Algorithm 1 with packed tuples and worklists.
 // When simd is true the neighbor reductions use 4-way unrolled loops
 // (this repository's substitute for warp-level SIMD; see DESIGN.md).
+//
+// All O(n) state (status arrays and the four worklist buffers) comes
+// from a scratch arena, so repeated MIS-2 calls — AMG setup runs one per
+// level, cluster-GS one per operator — reuse the same backing memory.
 func mis2Packed(g *graph.CSR, kind hash.Kind, simd, collectStats bool, rt *par.Runtime) Result {
 	n := g.N
 	if n == 0 {
@@ -70,18 +74,22 @@ func mis2Packed(g *graph.CSR, kind hash.Kind, simd, collectStats bool, rt *par.R
 	}
 	var stats1, stats2 []int
 	c := newCodec(n)
-	t := make([]uint64, n) // row status  T_v
-	m := make([]uint64, n) // col status  M_v
-	wl1 := make([]int32, n)
-	wl2 := make([]int32, n)
+	ar := par.AcquireArena()
+	t := par.Get[uint64](ar, n) // row status  T_v
+	m := par.Get[uint64](ar, n) // col status  M_v
+	wl1 := par.Get[int32](ar, n)
+	wl2 := par.Get[int32](ar, n)
+	buf1 := par.Get[int32](ar, n)
+	buf2 := par.Get[int32](ar, n)
+	// Remember the full-capacity backings: wl/buf pairs swap roles each
+	// round, and t/m are returned to the arena at the end.
+	tb, mb, w1a, w1b, w2a, w2b := t, m, wl1, buf1, wl2, buf2
 	rt.For(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			wl1[i] = int32(i)
 			wl2[i] = int32(i)
 		}
 	})
-	buf1 := make([]int32, n)
-	buf2 := make([]int32, n)
 
 	iter := 0
 	for len(wl1) > 0 {
@@ -180,7 +188,15 @@ func mis2Packed(g *graph.CSR, kind hash.Kind, simd, collectStats bool, rt *par.R
 		iter++
 	}
 
-	return Result{InSet: collectIn(rt, t, n), Iterations: iter, Worklist1: stats1, Worklist2: stats2}
+	in := collectIn(rt, t, n)
+	par.Put(ar, tb)
+	par.Put(ar, mb)
+	par.Put(ar, w1a)
+	par.Put(ar, w1b)
+	par.Put(ar, w2a)
+	par.Put(ar, w2b)
+	par.ReleaseArena(ar)
+	return Result{InSet: in, Iterations: iter, Worklist1: stats1, Worklist2: stats2}
 }
 
 // collectIn gathers the vertices whose row status is IN, ascending, with
@@ -189,7 +205,9 @@ func mis2Packed(g *graph.CSR, kind hash.Kind, simd, collectStats bool, rt *par.R
 func collectIn(rt *par.Runtime, t []uint64, n int) []int32 {
 	blocks := rt.Blocks(n)
 	nb := len(blocks) - 1
-	counts := make([]int, nb)
+	ar := par.AcquireArena()
+	counts := par.Get[int](ar, nb)
+	offsets := par.Get[int](ar, nb+1)
 	rt.ForBlocks(nb, func(b int) {
 		c := 0
 		for v := blocks[b]; v < blocks[b+1]; v++ {
@@ -199,7 +217,6 @@ func collectIn(rt *par.Runtime, t []uint64, n int) []int32 {
 		}
 		counts[b] = c
 	})
-	offsets := make([]int, nb+1)
 	total := 0
 	for b := 0; b < nb; b++ {
 		offsets[b] = total
@@ -216,6 +233,9 @@ func collectIn(rt *par.Runtime, t []uint64, n int) []int32 {
 			}
 		}
 	})
+	par.Put(ar, counts)
+	par.Put(ar, offsets)
+	par.ReleaseArena(ar)
 	return out
 }
 

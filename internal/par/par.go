@@ -1,11 +1,15 @@
-// Package par provides a small deterministic parallel runtime built on
-// goroutines: blocked parallel-for, reductions, exclusive prefix sums
-// (scans), and order-preserving parallel filtering.
+// Package par provides a small deterministic parallel runtime built on a
+// persistent worker pool: blocked parallel-for, reductions, exclusive
+// prefix sums (scans), and order-preserving parallel filtering, plus
+// per-worker scratch arenas for allocation-free kernels.
 //
 // It plays the role Kokkos plays in the paper: every construct here is
 // deterministic with respect to the number of workers, because each worker
 // writes only to disjoint index ranges and combination steps use a fixed
-// blocking that does not depend on scheduling.
+// blocking that does not depend on scheduling. Blocks are executed by
+// long-lived pool goroutines (plus the caller) that claim them from an
+// atomic counter; which goroutine runs a block never affects the result.
+// See DESIGN.md for the determinism contract.
 package par
 
 import (
@@ -14,9 +18,24 @@ import (
 )
 
 // Runtime executes parallel constructs with a fixed number of workers.
-// The zero value is not ready for use; call New.
+// The worker count determines only the blocking (and hence how much
+// concurrency a construct can use); the goroutines doing the work come
+// from the shared process-wide pool. The zero value is not ready for
+// use; call New.
 type Runtime struct {
 	workers int
+}
+
+// interned holds premade Runtimes for common worker counts, so the
+// pervasive New-per-call pattern (facade entry points, setup paths)
+// allocates nothing. Runtimes are immutable, making the shared
+// instances safe.
+var interned [257]Runtime
+
+func init() {
+	for i := range interned {
+		interned[i] = Runtime{workers: i}
+	}
 }
 
 // New returns a Runtime with the given number of workers.
@@ -25,14 +44,56 @@ func New(workers int) *Runtime {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers < len(interned) {
+		return &interned[workers]
+	}
 	return &Runtime{workers: workers}
+}
+
+var defaultRuntime struct {
+	once sync.Once
+	rt   *Runtime
+}
+
+// Default returns a process-wide Runtime with GOMAXPROCS workers, for
+// operations whose API predates explicit runtimes. All algorithms are
+// deterministic for any worker count, so using Default never changes
+// results.
+func Default() *Runtime {
+	defaultRuntime.once.Do(func() { defaultRuntime.rt = New(0) })
+	return defaultRuntime.rt
 }
 
 // Workers reports the worker count.
 func (r *Runtime) Workers() int { return r.workers }
 
-// minGrain is the smallest per-worker chunk worth spawning a goroutine for.
+// minGrain is the smallest per-worker chunk worth dispatching to the pool.
 const minGrain = 512
+
+// split returns the block count and chunk size For uses for n items —
+// the same fixed blocking as the seed implementation, a function of
+// (n, workers) only.
+func (r *Runtime) split(n int) (nb, chunk int) {
+	w := r.workers
+	if w == 1 || n <= minGrain {
+		return 1, n
+	}
+	if w > n/minGrain {
+		w = n / minGrain
+		if w < 1 {
+			w = 1
+		}
+	}
+	chunk = (n + w - 1) / w
+	return (n + chunk - 1) / chunk, chunk
+}
+
+// Serial reports whether For would run a loop over [0, n) inline on the
+// caller. Hot kernels use it to bypass the closure-based API entirely,
+// keeping single-worker execution allocation-free.
+func (r *Runtime) Serial(n int) bool {
+	return r.workers == 1 || n <= minGrain
+}
 
 // For splits [0, n) into contiguous blocks and calls body(lo, hi) for each
 // block, possibly concurrently. body must only write to state owned by
@@ -41,31 +102,31 @@ func (r *Runtime) For(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := r.workers
-	if w == 1 || n <= minGrain {
-		body(0, n)
+	nb, chunk := r.split(n)
+	dispatch(n, nb, chunk, body, nil)
+}
+
+// ForWith is For with per-participant scratch: setup runs once on each
+// goroutine that executes blocks (lazily, before its first block) with
+// that goroutine's arena; body receives the participant's scratch state;
+// teardown (optional) runs after a participant's last block, typically
+// returning buffers with Put. The scratch state must not influence
+// results across blocks for the construct to stay deterministic
+// (stamp-guarded accumulators satisfy this).
+func ForWith[S any](r *Runtime, n int, setup func(*Arena) S, body func(lo, hi int, s S), teardown func(*Arena, S)) {
+	if n <= 0 {
 		return
 	}
-	if w > n/minGrain {
-		w = n / minGrain
-		if w < 1 {
-			w = 1
+	nb, chunk := r.split(n)
+	wa := func(a *Arena) participant {
+		s := setup(a)
+		p := participant{run: func(lo, hi int) { body(lo, hi, s) }}
+		if teardown != nil {
+			p.done = func() { teardown(a, s) }
 		}
+		return p
 	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatch(n, nb, chunk, nil, wa)
 }
 
 // ForEach calls body(i) for each i in [0, n), possibly concurrently.
@@ -84,18 +145,8 @@ func (r *Runtime) Blocks(n int) []int {
 	if n <= 0 {
 		return []int{0, 0}
 	}
-	w := r.workers
-	if w == 1 || n <= minGrain {
-		return []int{0, n}
-	}
-	if w > n/minGrain {
-		w = n / minGrain
-		if w < 1 {
-			w = 1
-		}
-	}
-	chunk := (n + w - 1) / w
-	b := make([]int, 0, w+1)
+	nb, chunk := r.split(n)
+	b := make([]int, 0, nb+1)
 	for lo := 0; lo < n; lo += chunk {
 		b = append(b, lo)
 	}
@@ -103,8 +154,8 @@ func (r *Runtime) Blocks(n int) []int {
 	return b
 }
 
-// ForBlocks runs body(b) for each block b in [0, nb) on its own
-// goroutine. Intended for block-level two-pass algorithms where each
+// ForBlocks runs body(b) for each block b in [0, nb), possibly
+// concurrently. Intended for block-level two-pass algorithms where each
 // index is a whole chunk of work (see Blocks).
 func (r *Runtime) ForBlocks(nb int, body func(b int)) {
 	if nb <= 0 {
@@ -116,15 +167,11 @@ func (r *Runtime) ForBlocks(nb int, body func(b int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
+	dispatch(nb, nb, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
 			body(b)
-		}(b)
-	}
-	wg.Wait()
+		}
+	}, nil)
 }
 
 // Integer is the constraint for scan/reduce element types.
@@ -139,19 +186,13 @@ func ReduceSum[T Integer](r *Runtime, n int, f func(i int) T) T {
 	blocks := r.Blocks(n)
 	nb := len(blocks) - 1
 	partial := make([]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			var s T
-			for i := blocks[b]; i < blocks[b+1]; i++ {
-				s += f(i)
-			}
-			partial[b] = s
-		}(b)
-	}
-	wg.Wait()
+	r.ForBlocks(nb, func(b int) {
+		var s T
+		for i := blocks[b]; i < blocks[b+1]; i++ {
+			s += f(i)
+		}
+		partial[b] = s
+	})
 	var total T
 	for _, p := range partial {
 		total += p
@@ -168,21 +209,15 @@ func ReduceMax[T Integer](r *Runtime, n int, f func(i int) T) T {
 	blocks := r.Blocks(n)
 	nb := len(blocks) - 1
 	partial := make([]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			m := f(blocks[b])
-			for i := blocks[b] + 1; i < blocks[b+1]; i++ {
-				if v := f(i); v > m {
-					m = v
-				}
+	r.ForBlocks(nb, func(b int) {
+		m := f(blocks[b])
+		for i := blocks[b] + 1; i < blocks[b+1]; i++ {
+			if v := f(i); v > m {
+				m = v
 			}
-			partial[b] = m
-		}(b)
-	}
-	wg.Wait()
+		}
+		partial[b] = m
+	})
 	m := partial[0]
 	for _, p := range partial[1:] {
 		if p > m {
@@ -221,40 +256,33 @@ func ScanExclusive[T Integer](r *Runtime, in, out []T) T {
 		}
 		return run
 	}
-	sums := make([]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			var s T
-			for i := blocks[b]; i < blocks[b+1]; i++ {
-				s += in[i]
-			}
-			sums[b] = s
-		}(b)
-	}
-	wg.Wait()
+	a := AcquireArena()
+	sums := Get[T](a, nb)
+	offsets := Get[T](a, nb)
+	r.ForBlocks(nb, func(b int) {
+		var s T
+		for i := blocks[b]; i < blocks[b+1]; i++ {
+			s += in[i]
+		}
+		sums[b] = s
+	})
 	var run T
-	offsets := make([]T, nb)
 	for b := 0; b < nb; b++ {
 		offsets[b] = run
 		run += sums[b]
 	}
 	total := run
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			acc := offsets[b]
-			for i := blocks[b]; i < blocks[b+1]; i++ {
-				v := in[i]
-				out[i] = acc
-				acc += v
-			}
-		}(b)
-	}
-	wg.Wait()
+	r.ForBlocks(nb, func(b int) {
+		acc := offsets[b]
+		for i := blocks[b]; i < blocks[b+1]; i++ {
+			v := in[i]
+			out[i] = acc
+			acc += v
+		}
+	})
+	Put(a, sums)
+	Put(a, offsets)
+	ReleaseArena(a)
 	if len(out) > n {
 		out[n] = total
 	}
@@ -285,41 +313,34 @@ func Filter[T any](r *Runtime, src []T, dst []T, keep func(T) bool) []T {
 		}
 		return dst[:k]
 	}
-	counts := make([]int, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			c := 0
-			for i := blocks[b]; i < blocks[b+1]; i++ {
-				if keep(src[i]) {
-					c++
-				}
+	a := AcquireArena()
+	counts := Get[int](a, nb)
+	offsets := Get[int](a, nb)
+	r.ForBlocks(nb, func(b int) {
+		c := 0
+		for i := blocks[b]; i < blocks[b+1]; i++ {
+			if keep(src[i]) {
+				c++
 			}
-			counts[b] = c
-		}(b)
-	}
-	wg.Wait()
+		}
+		counts[b] = c
+	})
 	total := 0
-	offsets := make([]int, nb)
 	for b := 0; b < nb; b++ {
 		offsets[b] = total
 		total += counts[b]
 	}
-	for b := 0; b < nb; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			k := offsets[b]
-			for i := blocks[b]; i < blocks[b+1]; i++ {
-				if keep(src[i]) {
-					dst[k] = src[i]
-					k++
-				}
+	r.ForBlocks(nb, func(b int) {
+		k := offsets[b]
+		for i := blocks[b]; i < blocks[b+1]; i++ {
+			if keep(src[i]) {
+				dst[k] = src[i]
+				k++
 			}
-		}(b)
-	}
-	wg.Wait()
+		}
+	})
+	Put(a, counts)
+	Put(a, offsets)
+	ReleaseArena(a)
 	return dst[:total]
 }

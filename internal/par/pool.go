@@ -1,0 +1,213 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The persistent worker pool. Instead of spawning fresh goroutines on
+// every For/Scan/Filter call (the Go analogue of relaunching a Kokkos
+// kernel with cold scratch memory), all Runtimes share one process-wide
+// set of long-lived workers. A parallel construct packages its blocks
+// into a task; the submitting goroutine and any idle workers claim
+// blocks from an atomic counter until none remain.
+//
+// Determinism is unaffected by which goroutine runs which block: block
+// boundaries are a fixed function of (n, Runtime.workers) — see Blocks —
+// every block writes only to state owned by its index range, and all
+// combination steps (scan offsets, reduction partials) read per-block
+// results in block order. Work stealing changes the schedule, never the
+// result.
+//
+// Each worker owns a scratch Arena that lives as long as the worker, so
+// per-participant scratch (SpGEMM accumulators, stamp arrays) is
+// allocated once per worker per buffer size, not once per call.
+
+// participant is one goroutine's execution state for a task: run
+// executes a block; done (optional) runs after its last block.
+type participant struct {
+	run  func(lo, hi int)
+	done func()
+}
+
+// task is one dispatched parallel construct. Block b covers
+// [b*chunk, min((b+1)*chunk, n)).
+type task struct {
+	n, nb, chunk int
+	// body executes one block. Exactly one of body/withArena is set.
+	body func(lo, hi int)
+	// withArena, when set, is invoked once per participating goroutine
+	// (lazily, before its first block) with that goroutine's arena.
+	withArena func(a *Arena) participant
+
+	next atomic.Int64 // next unclaimed block
+	left atomic.Int64 // blocks not yet completed
+	refs atomic.Int64 // outstanding references (caller + queued tokens)
+	// done receives one token from the participant that completes the
+	// final block, iff that participant is not the caller.
+	done chan struct{}
+}
+
+var taskPool = sync.Pool{New: func() any {
+	return &task{done: make(chan struct{}, 1)}
+}}
+
+// work claims and executes blocks until none remain, returning the
+// number of blocks executed.
+func (t *task) work(a *Arena) int64 {
+	var p participant
+	var did int64
+	for {
+		b := int(t.next.Add(1) - 1)
+		if b >= t.nb {
+			break
+		}
+		if p.run == nil {
+			if t.withArena != nil {
+				p = t.withArena(a)
+			} else {
+				p = participant{run: t.body}
+			}
+		}
+		lo := b * t.chunk
+		hi := lo + t.chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		p.run(lo, hi)
+		did++
+	}
+	if p.done != nil {
+		p.done()
+	}
+	return did
+}
+
+// release drops one reference; the last reference recycles the task.
+func (t *task) release() {
+	if t.refs.Add(-1) == 0 {
+		t.body = nil
+		t.withArena = nil
+		taskPool.Put(t)
+	}
+}
+
+// pool is the process-wide worker set. Workers are spawned lazily up to
+// the demand of the largest Runtime, so a Runtime with more workers than
+// GOMAXPROCS still gets real goroutines (the seed behavior under the
+// race detector and on oversubscribed machines).
+var pool struct {
+	mu      sync.Mutex
+	workers int
+	tasks   chan *task
+}
+
+const maxPoolWorkers = 256
+
+func init() {
+	pool.tasks = make(chan *task, 4*maxPoolWorkers)
+}
+
+// ensureWorkers grows the pool to at least n workers.
+func ensureWorkers(n int) {
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	pool.mu.Lock()
+	for pool.workers < n {
+		pool.workers++
+		go func() {
+			a := &Arena{}
+			for t := range pool.tasks {
+				if did := t.work(a); did > 0 && t.left.Add(-did) == 0 {
+					t.done <- struct{}{}
+				}
+				t.release()
+			}
+		}()
+	}
+	pool.mu.Unlock()
+}
+
+// run executes a parallel construct of nb chunk-sized blocks over [0, n)
+// with pool assistance. Exactly one of body and withArena is non-nil.
+// The caller always participates, so progress never depends on pool
+// capacity; a full task queue just means fewer helpers.
+func dispatch(n, nb, chunk int, body func(lo, hi int), withArena func(a *Arena) participant) {
+	if nb <= 0 {
+		return
+	}
+	if nb == 1 {
+		runSingle(n, body, withArena)
+		return
+	}
+	t := taskPool.Get().(*task)
+	t.n, t.nb, t.chunk = n, nb, chunk
+	t.body = body
+	t.withArena = withArena
+	t.next.Store(0)
+	t.left.Store(int64(nb))
+	t.refs.Store(1)
+
+	helpers := nb - 1
+	ensureWorkers(helpers)
+	sent := 0
+	for i := 0; i < helpers; i++ {
+		// Take the reference before the send: once the task is in the
+		// channel a worker may drain and release it immediately, and the
+		// caller's own reference (held until the end of dispatch) must
+		// never be the only thing keeping a sent-but-unaccounted token
+		// alive.
+		t.refs.Add(1)
+		select {
+		case pool.tasks <- t:
+			sent++
+			continue
+		default:
+		}
+		t.refs.Add(-1) // send failed; caller still holds its own ref
+		break          // queue full; remaining helpers would not fit either
+	}
+
+	a := callerArena()
+	did := t.work(a)
+	releaseCallerArena(a)
+	callerDone := did > 0 && t.left.Add(-did) == 0
+	if sent > 0 && !callerDone {
+		// A worker holds (or will complete) the final block and sends
+		// exactly one token.
+		<-t.done
+	}
+	t.release()
+}
+
+// runSingle executes a single-block construct inline on the caller.
+func runSingle(n int, body func(lo, hi int), withArena func(a *Arena) participant) {
+	if body != nil {
+		body(0, n)
+		return
+	}
+	a := callerArena()
+	p := withArena(a)
+	p.run(0, n)
+	if p.done != nil {
+		p.done()
+	}
+	releaseCallerArena(a)
+}
+
+// callerArenas recycles arenas for non-worker goroutines that execute
+// blocks or need longer-lived scratch.
+var callerArenas = sync.Pool{New: func() any { return new(Arena) }}
+
+func callerArena() *Arena         { return callerArenas.Get().(*Arena) }
+func releaseCallerArena(a *Arena) { callerArenas.Put(a) }
+
+// AcquireArena hands out a scratch arena for a longer-lived computation
+// (e.g. reusing MIS-2 status buffers across calls). Pair with
+// ReleaseArena; buffers obtained with Get and returned with Put are
+// recycled across acquisitions.
+func AcquireArena() *Arena { return callerArenas.Get().(*Arena) }
+
+// ReleaseArena returns an arena obtained from AcquireArena to the pool.
+func ReleaseArena(a *Arena) { callerArenas.Put(a) }

@@ -1,0 +1,46 @@
+package sparse
+
+import (
+	"testing"
+
+	"mis2go/internal/par"
+)
+
+// TestGraphUnsortedRowsFallback pins the seed behavior: Graph() must
+// tolerate hand-built matrices whose rows are unsorted or contain
+// duplicates (valid for SpMV, rejected by Validate), falling back to
+// the edge-list construction instead of merging garbage.
+func TestGraphUnsortedRowsFallback(t *testing.T) {
+	// 3x3 matrix with row 0 unsorted: entries (0,2), (0,1).
+	a := &Matrix{
+		Rows: 3, Cols: 3,
+		RowPtr: []int{0, 2, 4, 6},
+		Col:    []int32{2, 1, 0, 1, 0, 2},
+		Val:    []float64{1, 1, 1, 2, 1, 3},
+	}
+	g := a.GraphWith(par.New(2))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph from unsorted matrix is invalid: %v", err)
+	}
+	// The symmetrized structure must match the sorted equivalent.
+	sorted := &Matrix{
+		Rows: 3, Cols: 3,
+		RowPtr: []int{0, 2, 4, 6},
+		Col:    []int32{1, 2, 0, 1, 0, 2},
+		Val:    []float64{1, 1, 1, 2, 1, 3},
+	}
+	want := sorted.GraphWith(par.New(2))
+	if g.N != want.N || len(g.Col) != len(want.Col) {
+		t.Fatalf("structure mismatch: |V|=%d nnz=%d, want |V|=%d nnz=%d", g.N, len(g.Col), want.N, len(want.Col))
+	}
+	for v := 0; v <= g.N; v++ {
+		if g.RowPtr[v] != want.RowPtr[v] {
+			t.Fatalf("RowPtr[%d] = %d, want %d", v, g.RowPtr[v], want.RowPtr[v])
+		}
+	}
+	for k := range g.Col {
+		if g.Col[k] != want.Col[k] {
+			t.Fatalf("Col[%d] = %d, want %d", k, g.Col[k], want.Col[k])
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"mis2go/internal/graph"
 	"mis2go/internal/par"
@@ -60,34 +60,136 @@ func (a *Matrix) Validate() error {
 
 // SpMV computes y = A*x in parallel over rows.
 func (a *Matrix) SpMV(rt *par.Runtime, x, y []float64) {
+	if rt.Serial(a.Rows) {
+		a.spmvRange(x, y, 0, a.Rows)
+		return
+	}
 	rt.For(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := 0.0
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				s += a.Val[p] * x[a.Col[p]]
-			}
-			y[i] = s
-		}
+		a.spmvRange(x, y, lo, hi)
 	})
+}
+
+// spmvRange is the SpMV kernel for rows [lo, hi): per-row slices for
+// bounds-check elimination and a 4-way unrolled dual-accumulator inner
+// loop (the gathers from x are independent, so unrolling exposes ILP).
+// The per-row summation order is a function of the row alone, keeping
+// results identical for every worker count.
+func (a *Matrix) spmvRange(x, y []float64, lo, hi int) {
+	rp := a.RowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := a.Col[start:end]
+		vals := a.Val[start:end]
+		var s0, s1 float64
+		k := 0
+		for ; k+4 <= len(cols); k += 4 {
+			s0 += vals[k]*x[cols[k]] + vals[k+1]*x[cols[k+1]]
+			s1 += vals[k+2]*x[cols[k+2]] + vals[k+3]*x[cols[k+3]]
+		}
+		for ; k < len(cols); k++ {
+			s0 += vals[k] * x[cols[k]]
+		}
+		y[i] = s0 + s1
+	}
 }
 
 // Diagonal returns the diagonal entries of A (zero where absent).
 func (a *Matrix) Diagonal() []float64 {
 	d := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			if int(a.Col[p]) == i {
-				d[i] = a.Val[p]
-				break
+	a.DiagonalInto(par.Default(), d)
+	return d
+}
+
+// DiagonalInto fills d with the diagonal entries of A (zero where
+// absent) in parallel over rows.
+func (a *Matrix) DiagonalInto(rt *par.Runtime, d []float64) {
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = 0
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				if int(a.Col[p]) == i {
+					d[i] = a.Val[p]
+					break
+				}
 			}
 		}
 	}
-	return d
+	if rt.Serial(a.Rows) {
+		body(0, a.Rows)
+		return
+	}
+	rt.For(a.Rows, body)
 }
 
 // Graph returns the adjacency structure of A with the diagonal removed,
 // symmetrized. This is the graph coarsening and coloring operate on.
-func (a *Matrix) Graph() *graph.CSR {
+func (a *Matrix) Graph() *graph.CSR { return a.GraphWith(par.Default()) }
+
+// GraphWith is Graph with an explicit runtime. For the common case of
+// sorted duplicate-free rows (the Validate invariant) the symmetrized
+// CSR is built directly with a count + scan + merge over rows of A and
+// its structural transpose — no intermediate edge list. Deterministic:
+// each output row is a merge of two sorted lists, independent of
+// blocking. Matrices with unsorted or duplicate row entries fall back
+// to the tolerant edge-list construction.
+func (a *Matrix) GraphWith(rt *par.Runtime) *graph.CSR {
+	n := a.Rows
+	if a.Cols > n {
+		n = a.Cols
+	}
+	if !a.rowsSorted(rt) {
+		return a.graphFromEdges(n)
+	}
+	tPtr, tCol, _ := a.transposeBlocked(rt, n, false)
+
+	g := &graph.CSR{N: n}
+	g.RowPtr = make([]int, n+1)
+	ar := par.AcquireArena()
+	counts := par.Get[int](ar, n)
+	// rowOf returns the sorted column list of row i of A (empty past Rows).
+	rowOf := func(i int) []int32 {
+		if i >= a.Rows {
+			return nil
+		}
+		return a.Col[a.RowPtr[i]:a.RowPtr[i+1]]
+	}
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i] = mergeRow(rowOf(i), tCol[tPtr[i]:tPtr[i+1]], int32(i), nil)
+		}
+	})
+	nnz := par.ScanExclusive(rt, counts, g.RowPtr)
+	g.RowPtr[n] = nnz
+	g.Col = make([]int32, nnz)
+	rt.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mergeRow(rowOf(i), tCol[tPtr[i]:tPtr[i+1]], int32(i), g.Col[g.RowPtr[i]:g.RowPtr[i+1]])
+		}
+	})
+	par.Put(ar, counts)
+	par.Put(ar, tPtr)
+	par.Put(ar, tCol)
+	par.ReleaseArena(ar)
+	return g
+}
+
+// rowsSorted reports whether every row's column indices are strictly
+// ascending (the Validate invariant the merge-based Graph build needs).
+func (a *Matrix) rowsSorted(rt *par.Runtime) bool {
+	bad := par.ReduceSum(rt, a.Rows, func(i int) int64 {
+		for p := a.RowPtr[i] + 1; p < a.RowPtr[i+1]; p++ {
+			if a.Col[p-1] >= a.Col[p] {
+				return 1
+			}
+		}
+		return 0
+	})
+	return bad == 0
+}
+
+// graphFromEdges is the seed's tolerant Graph construction: materialize
+// both triangles as an edge list and let FromEdges sort and dedupe.
+func (a *Matrix) graphFromEdges(n int) *graph.CSR {
 	edges := make([]graph.Edge, 0, len(a.Col))
 	for i := 0; i < a.Rows; i++ {
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
@@ -95,112 +197,265 @@ func (a *Matrix) Graph() *graph.CSR {
 			if int(j) > i {
 				edges = append(edges, graph.Edge{U: int32(i), V: j})
 			} else if int(j) < i {
-				// Keep lower entries too in case A is structurally
-				// unsymmetric; FromEdges dedupes.
 				edges = append(edges, graph.Edge{U: j, V: int32(i)})
 			}
 		}
 	}
-	n := a.Rows
-	if a.Cols > n {
-		n = a.Cols
-	}
 	return graph.FromEdges(n, edges)
 }
 
-// Transpose returns A^T using a counting sort over columns (deterministic).
-func (a *Matrix) Transpose() *Matrix {
-	t := &Matrix{Rows: a.Cols, Cols: a.Rows}
-	t.RowPtr = make([]int, a.Cols+1)
-	for _, j := range a.Col {
-		t.RowPtr[j+1]++
-	}
-	for j := 0; j < a.Cols; j++ {
-		t.RowPtr[j+1] += t.RowPtr[j]
-	}
-	t.Col = make([]int32, len(a.Col))
-	t.Val = make([]float64, len(a.Val))
-	fill := make([]int, a.Cols)
-	copy(fill, t.RowPtr[:a.Cols])
-	for i := 0; i < a.Rows; i++ {
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			j := a.Col[p]
-			t.Col[fill[j]] = int32(i)
-			t.Val[fill[j]] = a.Val[p]
-			fill[j]++
+// mergeRow merges two sorted duplicate-free column lists, dropping the
+// diagonal entry diag, and either counts the union (dst == nil) or
+// writes it into dst. Returns the union size.
+func mergeRow(x, y []int32, diag int32, dst []int32) int {
+	k, px, py := 0, 0, 0
+	for px < len(x) || py < len(y) {
+		var c int32
+		switch {
+		case py >= len(y) || (px < len(x) && x[px] < y[py]):
+			c = x[px]
+			px++
+		case px >= len(x) || y[py] < x[px]:
+			c = y[py]
+			py++
+		default:
+			c = x[px]
+			px++
+			py++
 		}
+		if c == diag {
+			continue
+		}
+		if dst != nil {
+			dst[k] = c
+		}
+		k++
 	}
+	return k
+}
+
+// Transpose returns A^T using a blocked counting sort over columns
+// (deterministic for any worker count; entries within a transposed row
+// stay in ascending original-row order).
+func (a *Matrix) Transpose() *Matrix { return a.TransposeWith(par.Default()) }
+
+// TransposeWith is Transpose with an explicit runtime.
+func (a *Matrix) TransposeWith(rt *par.Runtime) *Matrix {
+	t := &Matrix{Rows: a.Cols, Cols: a.Rows}
+	ptr, col, val := a.transposeBlocked(rt, a.Cols, true)
+	// The arena-backed scratch becomes the result, so copy into exact
+	// garbage-collected storage (the matrix outlives the arena borrow).
+	t.RowPtr = make([]int, a.Cols+1)
+	copy(t.RowPtr, ptr)
+	t.Col = make([]int32, len(a.Col))
+	copy(t.Col, col)
+	t.Val = make([]float64, len(a.Val))
+	copy(t.Val, val)
+	arenaRelease(ptr, col, val)
 	return t
 }
 
+// arenaRelease returns transposeBlocked scratch to the shared arenas.
+func arenaRelease(ptr []int, col []int32, val []float64) {
+	ar := par.AcquireArena()
+	par.Put(ar, ptr)
+	par.Put(ar, col)
+	if val != nil {
+		par.Put(ar, val)
+	}
+	par.ReleaseArena(ar)
+}
+
+// transposeBlocked computes the transpose of A with ncols output rows
+// into arena-backed buffers: per-block column counts, a serial scan, and
+// a deterministic parallel scatter (block b's entries for column j land
+// after all blocks b' < b, preserving the serial counting-sort order).
+// The returned buffers belong to the caller arena pool; callers must
+// par.Put them (or copy out) when done. val is nil when withVals is false.
+func (a *Matrix) transposeBlocked(rt *par.Runtime, ncols int, withVals bool) (ptr []int, col []int32, val []float64) {
+	ar := par.AcquireArena()
+	ptr = par.Get[int](ar, ncols+1)
+	col = par.Get[int32](ar, len(a.Col))
+	if withVals {
+		val = par.Get[float64](ar, len(a.Val))
+	}
+	blocks := rt.Blocks(a.Rows)
+	nb := len(blocks) - 1
+	// Bound the O(nb*ncols) counting scratch (and the serial offset scan
+	// over it) to a small multiple of nnz: wide matrices with many
+	// workers would otherwise pay more for the per-block counters than
+	// for the transpose itself. The output is blocking-independent, so
+	// coarsening the blocks deterministically (a function of the matrix
+	// shape and worker count only) never changes results.
+	if maxNB := 1 + 4*len(a.Col)/(ncols+1); nb > maxNB {
+		nb = maxNB
+		chunk := (a.Rows + nb - 1) / nb
+		blocks = blocks[:0]
+		for lo := 0; lo < a.Rows; lo += chunk {
+			blocks = append(blocks, lo)
+		}
+		blocks = append(blocks, a.Rows)
+		nb = len(blocks) - 1
+	}
+	// starts[b*ncols + j] counts block b's entries in column j, then
+	// becomes block b's write cursor for column j.
+	starts := par.Get[int](ar, nb*ncols)
+	clear(starts)
+	rt.ForBlocks(nb, func(b int) {
+		cnt := starts[b*ncols : (b+1)*ncols]
+		for p := a.RowPtr[blocks[b]]; p < a.RowPtr[blocks[b+1]]; p++ {
+			cnt[a.Col[p]]++
+		}
+	})
+	run := 0
+	for j := 0; j < ncols; j++ {
+		ptr[j] = run
+		for b := 0; b < nb; b++ {
+			c := starts[b*ncols+j]
+			starts[b*ncols+j] = run
+			run += c
+		}
+	}
+	ptr[ncols] = run
+	rt.ForBlocks(nb, func(b int) {
+		fill := starts[b*ncols : (b+1)*ncols]
+		for i := blocks[b]; i < blocks[b+1]; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				j := a.Col[p]
+				col[fill[j]] = int32(i)
+				if withVals {
+					val[fill[j]] = a.Val[p]
+				}
+				fill[j]++
+			}
+		}
+	})
+	par.Put(ar, starts)
+	par.ReleaseArena(ar)
+	return ptr, col, val
+}
+
+// insertionSortThreshold is the output-row length at or below which the
+// numeric pass sorts column indices with a branchy insertion sort; above
+// it, slices.Sort (pdqsort, closure-free). Mesh and Galerkin rows are
+// almost always short, so insertion sort dominates in practice.
+const insertionSortThreshold = 32
+
+// sortRow sorts a short column slice in place.
+func sortRow(cols []int32) {
+	if len(cols) <= insertionSortThreshold {
+		for i := 1; i < len(cols); i++ {
+			v := cols[i]
+			j := i - 1
+			for ; j >= 0 && cols[j] > v; j-- {
+				cols[j+1] = cols[j]
+			}
+			cols[j+1] = v
+		}
+		return
+	}
+	slices.Sort(cols)
+}
+
+// spgemmScratch is the per-participant accumulator pair of Gustavson's
+// algorithm: mark stamps the rows already holding column j, acc holds
+// the running dot products. Stamps are global row ids, so reusing the
+// buffers across rows, blocks, and whole Multiply calls (via the arena)
+// needs only one clear per participant per pass.
+type spgemmScratch struct {
+	mark []int32
+	acc  []float64
+}
+
 // Multiply computes C = A*B with Gustavson's row-by-row SpGEMM,
-// parallelized over rows of A with per-worker dense accumulators.
-// Deterministic: each output row is computed independently and sorted.
+// parallelized over rows of A with per-worker dense accumulators drawn
+// from the participants' scratch arenas (reused across calls, e.g. the
+// two products of RAP). Deterministic: each output row is computed
+// independently and sorted.
 func Multiply(rt *par.Runtime, a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("sparse: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	c := &Matrix{Rows: a.Rows, Cols: b.Cols}
 	c.RowPtr = make([]int, a.Rows+1)
-	counts := make([]int, a.Rows)
+	car := par.AcquireArena()
+	counts := par.Get[int](car, a.Rows)
 
 	// Symbolic pass: count nnz per output row.
-	rt.For(a.Rows, func(lo, hi int) {
-		mark := make([]int32, b.Cols)
-		for i := range mark {
-			mark[i] = -1
-		}
-		for i := lo; i < hi; i++ {
-			cnt := 0
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				k := a.Col[p]
-				for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-					j := b.Col[q]
-					if mark[j] != int32(i) {
-						mark[j] = int32(i)
-						cnt++
+	par.ForWith(rt, a.Rows,
+		func(ar *par.Arena) []int32 {
+			mark := par.Get[int32](ar, b.Cols)
+			for i := range mark {
+				mark[i] = -1
+			}
+			return mark
+		},
+		func(lo, hi int, mark []int32) {
+			for i := lo; i < hi; i++ {
+				cnt := 0
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					k := a.Col[p]
+					for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+						j := b.Col[q]
+						if mark[j] != int32(i) {
+							mark[j] = int32(i)
+							cnt++
+						}
 					}
 				}
+				counts[i] = cnt
 			}
-			counts[i] = cnt
-		}
-	})
+		},
+		func(ar *par.Arena, mark []int32) { par.Put(ar, mark) })
 	nnz := par.ScanExclusive(rt, counts, c.RowPtr)
+	par.Put(car, counts)
+	par.ReleaseArena(car)
 	c.Col = make([]int32, nnz)
 	c.Val = make([]float64, nnz)
 
 	// Numeric pass.
-	rt.For(a.Rows, func(lo, hi int) {
-		acc := make([]float64, b.Cols)
-		mark := make([]int32, b.Cols)
-		for i := range mark {
-			mark[i] = -1
-		}
-		for i := lo; i < hi; i++ {
-			base := c.RowPtr[i]
-			k := base
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				ak := a.Val[p]
-				row := a.Col[p]
-				for q := b.RowPtr[row]; q < b.RowPtr[row+1]; q++ {
-					j := b.Col[q]
-					if mark[j] != int32(i) {
-						mark[j] = int32(i)
-						acc[j] = ak * b.Val[q]
-						c.Col[k] = j
-						k++
-					} else {
-						acc[j] += ak * b.Val[q]
+	par.ForWith(rt, a.Rows,
+		func(ar *par.Arena) spgemmScratch {
+			s := spgemmScratch{
+				mark: par.Get[int32](ar, b.Cols),
+				acc:  par.Get[float64](ar, b.Cols),
+			}
+			for i := range s.mark {
+				s.mark[i] = -1
+			}
+			return s
+		},
+		func(lo, hi int, s spgemmScratch) {
+			mark, acc := s.mark, s.acc
+			for i := lo; i < hi; i++ {
+				base := c.RowPtr[i]
+				k := base
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					ak := a.Val[p]
+					row := a.Col[p]
+					for q := b.RowPtr[row]; q < b.RowPtr[row+1]; q++ {
+						j := b.Col[q]
+						if mark[j] != int32(i) {
+							mark[j] = int32(i)
+							acc[j] = ak * b.Val[q]
+							c.Col[k] = j
+							k++
+						} else {
+							acc[j] += ak * b.Val[q]
+						}
 					}
 				}
+				cols := c.Col[base:k]
+				sortRow(cols)
+				for idx := base; idx < k; idx++ {
+					c.Val[idx] = acc[c.Col[idx]]
+				}
 			}
-			cols := c.Col[base:k]
-			sort.Slice(cols, func(x, y int) bool { return cols[x] < cols[y] })
-			for idx := base; idx < k; idx++ {
-				c.Val[idx] = acc[c.Col[idx]]
-			}
-		}
-	})
+		},
+		func(ar *par.Arena, s spgemmScratch) {
+			par.Put(ar, s.mark)
+			par.Put(ar, s.acc)
+		})
 	return c, nil
 }
 

@@ -169,6 +169,25 @@ func SolveGMRES(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m 
 	return krylov.GMRES(par.New(threads), a, b, x, tol, maxIter, restart, m)
 }
 
+// SolverWorkspace holds the scratch vectors of the Krylov solvers so
+// that repeated solves allocate nothing. The zero value is ready for
+// use; see NewSolverWorkspace to pre-size. Not safe for concurrent use.
+type SolverWorkspace = krylov.Workspace
+
+// NewSolverWorkspace returns a workspace pre-sized for n unknowns.
+func NewSolverWorkspace(n int) *SolverWorkspace { return krylov.NewWorkspace(n) }
+
+// SolveCGWith is SolveCG reusing a caller-held workspace: repeated
+// solves through the same workspace perform zero allocations.
+func SolveCGWith(a *Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
+	return krylov.CGWith(par.New(threads), a, b, x, tol, maxIter, m, ws)
+}
+
+// SolveGMRESWith is SolveGMRES reusing a caller-held workspace.
+func SolveGMRESWith(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
+	return krylov.GMRESWith(par.New(threads), a, b, x, tol, maxIter, restart, m, ws)
+}
+
 // GaussSeidel is a multicolor Gauss-Seidel operator (point or cluster).
 type GaussSeidel = gs.Multicolor
 
