@@ -1,13 +1,20 @@
 # Makefile — build, test, and perf-trajectory targets.
 #
 # `make bench` runs the tracked hot-path micro-benchmarks and writes
-# BENCH_PR$(PR).json with current numbers joined against the committed
-# seed baseline (BENCH_SEED.json), including per-benchmark speedups.
+# BENCH_PR$(PR).json with current numbers joined against $(BASELINE)
+# (BENCH_SEED.json by default; pass BASELINE=BENCH_PR1.json to measure a
+# PR against its predecessor), including per-benchmark speedups and the
+# derived SpMM-vs-separate-SpMV ratio.
+#
+# `make check` is the CI gate: vet everything, then run the determinism
+# suite under the race detector (the worker-pool synchronization and the
+# 1/2/8-worker bitwise contract in one pass).
 
 PR ?= 1
-BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkSpMVHot|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated'
+BASELINE ?= BENCH_SEED.json
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated'
 
-.PHONY: all build test race bench
+.PHONY: all build test race bench check
 
 all: build test
 
@@ -20,6 +27,11 @@ test:
 race:
 	go test -race ./...
 
+check:
+	go vet ./...
+	go test -race -run 'Deterministic|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero' ./...
+
 bench:
 	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=1 . \
-		| go run ./cmd/benchjson -baseline BENCH_SEED.json -label pr$(PR) -out BENCH_PR$(PR).json
+		| go run ./cmd/benchjson -baseline $(BASELINE) -label pr$(PR) \
+			-ratio SpMM8_vs_8xSpMV=SpMV8Separate/SpMM8 -out BENCH_PR$(PR).json

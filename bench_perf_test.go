@@ -127,6 +127,87 @@ func BenchmarkSpMVHot(b *testing.B) {
 	}
 }
 
+// BenchmarkSpMM8 measures the batched multi-RHS product with 8
+// right-hand sides in the interleaved layout: one traversal of A serves
+// all 8 columns. Compare against BenchmarkSpMV8Separate (the same work
+// as 8 independent SpMV calls, re-reading A each time); the ratio is
+// recorded in BENCH_PR2.json as SpMM8_vs_8xSpMV.
+func BenchmarkSpMM8(b *testing.B) {
+	g := gen.Laplace3D(40, 40, 40)
+	a := gen.Laplacian(g, 0.1)
+	const k = 8
+	x := make([]float64, a.Cols*k)
+	y := make([]float64, a.Rows*k)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	rt := par.New(0)
+	b.SetBytes(int64(12 * a.NNZ() * k))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SpMM(rt, k, x, y)
+	}
+}
+
+// BenchmarkSpMV8Separate is the unbatched baseline for BenchmarkSpMM8:
+// 8 separate SpMV calls over contiguous single-RHS vectors.
+func BenchmarkSpMV8Separate(b *testing.B) {
+	g := gen.Laplace3D(40, 40, 40)
+	a := gen.Laplacian(g, 0.1)
+	const k = 8
+	xs := make([][]float64, k)
+	ys := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		xs[j] = make([]float64, a.Cols)
+		ys[j] = make([]float64, a.Rows)
+		for i := range xs[j] {
+			xs[j][i] = float64((i*k + j) % 7)
+		}
+	}
+	rt := par.New(0)
+	b.SetBytes(int64(12 * a.NNZ() * k))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < k; j++ {
+			a.SpMV(rt, xs[j], ys[j])
+		}
+	}
+}
+
+// BenchmarkCGBatch8Jacobi measures a batched 8-RHS Jacobi-preconditioned
+// CG solve through a reused workspace — the multi-RHS analogue of
+// BenchmarkCGJacobiWorkspace, sharing one SpMM traversal per iteration
+// across all columns.
+func BenchmarkCGBatch8Jacobi(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	a := gen.Laplacian(g, 1e-4)
+	n := a.Rows
+	const k = 8
+	rhs := make([]float64, n*k)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	m, err := krylov.Jacobi(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := par.New(0)
+	x := make([]float64, n*k)
+	ws := krylov.NewWorkspace(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := krylov.CGBatchWith(rt, a, rhs, x, k, 1e-8, 400, m, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkVCycleApply measures one V-cycle application (the AMG
 // preconditioner cost inside every CG iteration).
 func BenchmarkVCycleApply(b *testing.B) {

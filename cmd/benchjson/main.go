@@ -37,12 +37,28 @@ type File struct {
 	Label      string           `json:"label"`
 	GoMaxProcs int              `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Ratios are derived cross-benchmark speedups requested with -ratio
+	// NAME=NUM/DEN: ns/op of benchmark NUM divided by ns/op of DEN
+	// (higher means DEN is faster), e.g. batched SpMM vs separate SpMVs.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+}
+
+// ratioFlags collects repeated -ratio NAME=NUM/DEN definitions.
+type ratioFlags []string
+
+func (r *ratioFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *ratioFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
 }
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to join as the seed column")
 	label := flag.String("label", "current", "label recorded in the output")
+	var ratios ratioFlags
+	flag.Var(&ratios, "ratio", "derived ratio NAME=NUM/DEN of two benchmarks' ns/op (repeatable)")
 	flag.Parse()
 
 	cur, procs, err := parseBench(os.Stdin)
@@ -77,6 +93,17 @@ func main() {
 		}
 		f.Benchmarks[name] = e
 	}
+	for _, def := range ratios {
+		name, num, den, err := parseRatio(def, cur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if f.Ratios == nil {
+			f.Ratios = map[string]float64{}
+		}
+		f.Ratios[name] = round3(num / den)
+	}
 
 	enc, err := marshalStable(f)
 	if err != nil {
@@ -104,10 +131,40 @@ func main() {
 			fmt.Printf("%-28s %12.0f ns/op\n", n, e.Cur.NsPerOp)
 		}
 	}
+	rnames := make([]string, 0, len(f.Ratios))
+	for n := range f.Ratios {
+		rnames = append(rnames, n)
+	}
+	sort.Strings(rnames)
+	for _, n := range rnames {
+		fmt.Printf("ratio %-28s %.2fx\n", n, f.Ratios[n])
+	}
 	fmt.Println("wrote", *out)
 }
 
 func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
+
+// parseRatio resolves a NAME=NUM/DEN definition against the parsed
+// benchmark metrics, returning the two ns/op values.
+func parseRatio(def string, cur map[string]Metrics) (name string, num, den float64, err error) {
+	name, expr, ok := strings.Cut(def, "=")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("bad -ratio %q (want NAME=NUM/DEN)", def)
+	}
+	numName, denName, ok := strings.Cut(expr, "/")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("bad -ratio %q (want NAME=NUM/DEN)", def)
+	}
+	n, okN := cur[numName]
+	d, okD := cur[denName]
+	if !okN || !okD {
+		return "", 0, 0, fmt.Errorf("-ratio %s: benchmark %q or %q not in this run", name, numName, denName)
+	}
+	if d.NsPerOp == 0 {
+		return "", 0, 0, fmt.Errorf("-ratio %s: zero ns/op denominator", name)
+	}
+	return name, n.NsPerOp, d.NsPerOp, nil
+}
 
 // parseBench extracts Benchmark lines from `go test -bench -benchmem`
 // output. Lines look like:

@@ -135,23 +135,6 @@ type Hierarchy struct {
 	solveR []float64
 }
 
-// residualInto computes dst = b - r elementwise (dst may alias r); the
-// single-worker path runs inline so V-cycles allocate nothing.
-func residualInto(rt *par.Runtime, b, r, dst []float64) {
-	n := len(dst)
-	if rt.Serial(n) {
-		for i := 0; i < n; i++ {
-			dst[i] = b[i] - r[i]
-		}
-		return
-	}
-	rt.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = b[i] - r[i]
-		}
-	})
-}
-
 // addInto computes x += d elementwise.
 func addInto(rt *par.Runtime, x, d []float64) {
 	n := len(x)
@@ -258,25 +241,15 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 }
 
 // smoothProlongator computes P = (I - omega D^{-1} A) P0 with
-// omega = (4/3) / rho(D^{-1} A), rho estimated by power iteration.
+// omega = (4/3) / rho(D^{-1} A), rho estimated by power iteration. The
+// row scaling, SpGEMM, and sparse add run as one blocked Gustavson pass
+// (sparse.SmoothProlongator) with no intermediate matrices.
 func smoothProlongator(rt *par.Runtime, a *sparse.Matrix, dinv []float64, rho float64, p0 *sparse.Matrix) (*sparse.Matrix, error) {
 	if rho <= 0 {
 		return p0, nil
 	}
 	omega := (4.0 / 3.0) / rho
-	// S = D^{-1} A, row-scaled copy.
-	s := a.Clone()
-	for i := 0; i < s.Rows; i++ {
-		di := dinv[i]
-		for q := s.RowPtr[i]; q < s.RowPtr[i+1]; q++ {
-			s.Val[q] *= di
-		}
-	}
-	sp, err := sparse.Multiply(rt, s, p0)
-	if err != nil {
-		return nil, err
-	}
-	return sparse.Add(p0, sp, -omega)
+	return sparse.SmoothProlongator(rt, a, p0, dinv, omega)
 }
 
 // estimateSpectralRadius runs a deterministic power iteration on D^{-1}A.
@@ -349,8 +322,7 @@ func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float6
 		bnorm = 1
 	}
 	for it := 0; it < maxIter; it++ {
-		h.Levels[0].A.SpMV(h.rt, x, r)
-		residualInto(h.rt, b, r, r)
+		h.Levels[0].A.SpMVResidual(h.rt, b, x, r)
 		rel := norm2(r) / bnorm
 		if rel < tol {
 			return it, rel
@@ -359,13 +331,17 @@ func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float6
 		h.vcycle(0)
 		addInto(h.rt, x, h.Levels[0].x)
 	}
-	h.Levels[0].A.SpMV(h.rt, x, r)
-	residualInto(h.rt, b, r, r)
+	h.Levels[0].A.SpMVResidual(h.rt, b, x, r)
 	return maxIter, norm2(r) / bnorm
 }
 
 // vcycle runs one V-cycle on level l using l.b as right-hand side,
-// leaving the correction in l.x.
+// leaving the correction in l.x. The level passes are fused: the
+// residual's elementwise subtraction rides the SpMV traversal
+// (SpMVResidual) feeding the restriction directly, and the coarse-grid
+// correction rides the prolongation traversal (SpMVAdd) feeding the
+// post-smoother — eliminating two full-vector passes per level relative
+// to the unfused cycle, with bitwise-identical results.
 func (h *Hierarchy) vcycle(level int) {
 	l := h.Levels[level]
 	if level == len(h.Levels)-1 {
@@ -375,21 +351,23 @@ func (h *Hierarchy) vcycle(level int) {
 	for i := range l.x {
 		l.x[i] = 0
 	}
-	h.smooth(l, h.opt.PreSweeps)
-	// Residual and restriction.
-	l.A.SpMV(h.rt, l.x, l.r)
-	residualInto(h.rt, l.b, l.r, l.r)
+	h.smooth(l, h.opt.PreSweeps, true)
+	// Fused residual + restriction: one traversal of A writes
+	// r = b - A x, which the R traversal consumes immediately.
+	l.A.SpMVResidual(h.rt, l.b, l.x, l.r)
 	next := h.Levels[level+1]
 	l.R.SpMV(h.rt, l.r, next.b)
 	h.vcycle(level + 1)
-	// Prolongate and correct.
-	l.P.SpMV(h.rt, next.x, l.r)
-	addInto(h.rt, l.x, l.r)
-	h.smooth(l, h.opt.PostSweeps)
+	// Fused prolongation + correction: x += P e_c in one traversal,
+	// handing the corrected iterate straight to the post-smoother.
+	l.P.SpMVAdd(h.rt, next.x, l.x)
+	h.smooth(l, h.opt.PostSweeps, false)
 }
 
-// smooth dispatches to the configured relaxation method.
-func (h *Hierarchy) smooth(l *Level, sweeps int) {
+// smooth dispatches to the configured relaxation method. xZero tells the
+// smoother the iterate is exactly zero on entry (the pre-smoothing
+// position of the V-cycle), enabling the first-sweep shortcut.
+func (h *Hierarchy) smooth(l *Level, sweeps int, xZero bool) {
 	switch h.opt.Smoother {
 	case SmootherChebyshev:
 		for s := 0; s < sweeps; s++ {
@@ -398,7 +376,7 @@ func (h *Hierarchy) smooth(l *Level, sweeps int) {
 	case SmootherPointSGS, SmootherClusterSGS:
 		l.gsOp.Apply(l.b, l.x, sweeps, true)
 	default:
-		h.jacobi(l, sweeps)
+		h.jacobi(l, sweeps, xZero)
 	}
 }
 
@@ -454,23 +432,74 @@ func chebStepRange(l *Level, coef1, coef2 float64, lo, hi int) {
 	}
 }
 
-// jacobi runs damped Jacobi sweeps on l.A x = l.b, updating l.x in place.
-func (h *Hierarchy) jacobi(l *Level, sweeps int) {
+// jacobi runs damped Jacobi sweeps on l.A x = l.b, leaving the result in
+// l.x. Each sweep is a single fused traversal of A: the row product, the
+// damped-diagonal update, and the write of the new iterate happen per
+// row, ping-ponging between l.x and the l.d scratch instead of staging
+// the product in l.r (Jacobi needs the full old iterate, so the new one
+// goes to the other buffer — in-place would turn rows into Gauss-Seidel
+// updates and break determinism). When xZero is set the first sweep
+// skips the traversal entirely: A*0 is exactly zero, so the sweep
+// reduces to x = omega*Dinv*b, bitwise identical to the general form.
+func (h *Hierarchy) jacobi(l *Level, sweeps int, xZero bool) {
 	n := l.A.Rows
 	omega := h.opt.JacobiDamping
+	x, xn := l.x, l.d
 	for s := 0; s < sweeps; s++ {
-		l.A.SpMV(h.rt, l.x, l.r)
-		if h.rt.Serial(n) {
-			jacobiRange(l, omega, 0, n)
+		// src/dst are loop-local copies: the closures below must not
+		// capture the reassigned x/xn, which would box them on the heap
+		// even on the closure-free serial path.
+		src, dst := x, xn
+		if xZero && s == 0 {
+			if h.rt.Serial(n) {
+				jacobiZeroRange(l, omega, dst, 0, n)
+			} else {
+				h.rt.For(n, func(lo, hi int) { jacobiZeroRange(l, omega, dst, lo, hi) })
+			}
 		} else {
-			h.rt.For(n, func(lo, hi int) { jacobiRange(l, omega, lo, hi) })
+			if h.rt.Serial(n) {
+				jacobiFusedRange(l, omega, src, dst, 0, n)
+			} else {
+				h.rt.For(n, func(lo, hi int) { jacobiFusedRange(l, omega, src, dst, lo, hi) })
+			}
 		}
+		x, xn = xn, x
+	}
+	if sweeps%2 == 1 {
+		// The final iterate landed in the scratch buffer; swap the level's
+		// slice headers so l.x names it (both are level-sized scratch).
+		l.x, l.d = x, xn
 	}
 }
 
-func jacobiRange(l *Level, omega float64, lo, hi int) {
+// jacobiFusedRange computes dst[i] = src[i] + omega*dinv[i]*(b[i] - (A src)[i])
+// for rows [lo, hi) in one traversal, with the same unrolled
+// dual-accumulator product kernel as SpMV.
+func jacobiFusedRange(l *Level, omega float64, src, dst []float64, lo, hi int) {
+	a := l.A
+	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
-		l.x[i] += omega * l.dinv[i] * (l.b[i] - l.r[i])
+		start, end := rp[i], rp[i+1]
+		cols := a.Col[start:end]
+		vals := a.Val[start:end]
+		var s0, s1 float64
+		k := 0
+		for ; k+4 <= len(cols); k += 4 {
+			s0 += vals[k]*src[cols[k]] + vals[k+1]*src[cols[k+1]]
+			s1 += vals[k+2]*src[cols[k+2]] + vals[k+3]*src[cols[k+3]]
+		}
+		for ; k < len(cols); k++ {
+			s0 += vals[k] * src[cols[k]]
+		}
+		dst[i] = src[i] + omega*l.dinv[i]*(l.b[i]-(s0+s1))
+	}
+}
+
+// jacobiZeroRange is the first pre-smoothing sweep with a zero iterate:
+// dst = omega*Dinv*b without touching A.
+func jacobiZeroRange(l *Level, omega float64, dst []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = omega * l.dinv[i] * l.b[i]
 	}
 }
 

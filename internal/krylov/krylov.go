@@ -17,10 +17,21 @@ type Preconditioner interface {
 	Precondition(r, z []float64)
 }
 
+// BatchPreconditioner is implemented by preconditioners that can apply
+// M^{-1} to k residual columns stored in the interleaved multi-RHS
+// layout (the k values of row i contiguous at [i*k : (i+1)*k]) in one
+// pass. CGBatch uses it when available; other preconditioners are
+// applied column by column through de-interleaving scratch.
+type BatchPreconditioner interface {
+	PreconditionBatch(r, z []float64, k int)
+}
+
 // identityPrec is the unpreconditioned fallback.
 type identityPrec struct{}
 
 func (identityPrec) Precondition(r, z []float64) { copy(z, r) }
+
+func (identityPrec) PreconditionBatch(r, z []float64, k int) { copy(z, r) }
 
 // Identity returns the no-op preconditioner.
 func Identity() Preconditioner { return identityPrec{} }
@@ -45,6 +56,16 @@ type jacobiPrecond struct{ dinv []float64 }
 func (j jacobiPrecond) Precondition(r, z []float64) {
 	for i := range z {
 		z[i] = j.dinv[i] * r[i]
+	}
+}
+
+func (j jacobiPrecond) PreconditionBatch(r, z []float64, k int) {
+	for i, d := range j.dinv {
+		rb := r[i*k : i*k+k]
+		zb := z[i*k : i*k+k]
+		for q, v := range rb {
+			zb[q] = d * v
+		}
 	}
 }
 
@@ -87,10 +108,12 @@ func axpy(alpha float64, x, y []float64) {
 	}
 }
 
-// Workspace holds the scratch vectors of CG and GMRES so that repeated
-// solves allocate nothing. A zero Workspace is ready for use; buffers
-// grow on demand and are retained between solves. Not safe for
-// concurrent use.
+// Workspace holds the scratch vectors of CG, CGBatch and GMRES so that
+// repeated solves allocate nothing. A zero Workspace is ready for use;
+// buffers grow on demand and are retained between solves. Every solve
+// re-slices all scratch to exactly the system size, so a workspace may
+// be reused freely across systems of different sizes: results are
+// bitwise identical to a fresh workspace. Not safe for concurrent use.
 type Workspace struct {
 	r, z, p, ap []float64
 	// GMRES state (allocated only when GMRES is used).
@@ -100,6 +123,13 @@ type Workspace struct {
 	s, y    []float64
 	zb      []float64
 	restart int
+	// CGBatch state: per-column scalar recurrences, active flags and
+	// stats, and two column-length buffers for de-interleaving through
+	// generic preconditioners.
+	scal   []float64
+	act    []bool
+	stats  []Stats
+	rc, zc []float64
 }
 
 // NewWorkspace returns a Workspace pre-sized for systems of n unknowns.
@@ -126,11 +156,8 @@ func (w *Workspace) ensureCG(n int) {
 
 func (w *Workspace) ensureGMRES(n, restart int) {
 	w.ensureCG(n) // r, z, ap (as the w vector) are shared
-	if w.restart < restart || len(w.v) == 0 || len(w.v[0]) < n {
+	if w.restart < restart || len(w.v) == 0 {
 		w.v = make([][]float64, restart+1)
-		for i := range w.v {
-			w.v[i] = make([]float64, n)
-		}
 		w.h = make([][]float64, restart+1)
 		for i := range w.h {
 			w.h[i] = make([]float64, restart)
@@ -141,7 +168,37 @@ func (w *Workspace) ensureGMRES(n, restart int) {
 		w.y = make([]float64, restart)
 		w.restart = restart
 	}
+	// Slice every basis vector to exactly n: a workspace retained from a
+	// larger system must never hand over-length scratch (with stale tail
+	// values) to the Arnoldi kernels.
+	for i := range w.v {
+		w.v[i] = grow(w.v[i], n)
+	}
 	w.zb = grow(w.zb, n)
+}
+
+// ensureBatch sizes the workspace for a k-wide interleaved batch solve
+// of n unknowns: the CG vectors hold n*k values, scal carries the six
+// per-column scalar recurrences, and rc/zc are the de-interleaving
+// buffers for non-batch preconditioners.
+func (w *Workspace) ensureBatch(n, k int) {
+	w.r = grow(w.r, n*k)
+	w.z = grow(w.z, n*k)
+	w.p = grow(w.p, n*k)
+	w.ap = grow(w.ap, n*k)
+	w.scal = grow(w.scal, 6*k)
+	w.rc = grow(w.rc, n)
+	w.zc = grow(w.zc, n)
+	if cap(w.act) >= k {
+		w.act = w.act[:k]
+	} else {
+		w.act = make([]bool, k)
+	}
+	if cap(w.stats) >= k {
+		w.stats = w.stats[:k]
+	} else {
+		w.stats = make([]Stats, k)
+	}
 }
 
 // CG solves A x = b for SPD A with the preconditioned conjugate gradient
@@ -169,6 +226,30 @@ func CGWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxI
 	ws.ensureCG(n)
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
+	bnorm := norm2(b)
+	if maxIter <= 0 {
+		// Report the initial residual without touching x.
+		nb := bnorm
+		if nb == 0 {
+			nb = 1
+		}
+		rel := finalResidualWith(rt, a, b, x, nb, r)
+		st := Stats{Iterations: 0, RelResidual: rel, Converged: rel < tol}
+		if !st.Converged {
+			return st, fmt.Errorf("%w: CG after 0 iterations, relres %.3e", ErrNotConverged, rel)
+		}
+		return st, nil
+	}
+	if bnorm == 0 {
+		// A zero right-hand side has the exact solution x = 0 (A is SPD,
+		// hence nonsingular); iterating would divide by a zero residual
+		// norm. Return it in 0 iterations.
+		for i := range x {
+			x[i] = 0
+		}
+		return Stats{Iterations: 0, RelResidual: 0, Converged: true}, nil
+	}
+
 	a.SpMV(rt, x, r)
 	// rr accumulates ||r||^2 with a single accumulator in index order —
 	// a fixed summation order, so convergence behavior is identical for
@@ -178,10 +259,6 @@ func CGWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxI
 		ri := b[i] - r[i]
 		r[i] = ri
 		rr += ri * ri
-	}
-	bnorm := norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
 	}
 	m.Precondition(r, z)
 	copy(p, z)
@@ -246,16 +323,43 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 	if m == nil {
 		m = Identity()
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	bnorm := norm2(b)
+	if maxIter <= 0 {
+		// Report the initial residual without touching x. This runs
+		// before the restart clamp and workspace sizing: clamping restart
+		// to a non-positive maxIter would size the Arnoldi state with a
+		// negative dimension.
+		ws.ensureCG(n)
+		nb := bnorm
+		if nb == 0 {
+			nb = 1
+		}
+		rel := finalResidualWith(rt, a, b, x, nb, ws.r)
+		st := Stats{Iterations: 0, RelResidual: rel, Converged: rel < tol}
+		if !st.Converged {
+			return st, fmt.Errorf("%w: GMRES after 0 iterations, relres %.3e", ErrNotConverged, rel)
+		}
+		return st, nil
+	}
 	if restart <= 0 {
 		restart = 50
 	}
 	if restart > maxIter {
 		restart = maxIter
 	}
-	if ws == nil {
-		ws = &Workspace{}
-	}
 	ws.ensureGMRES(n, restart)
+
+	if bnorm == 0 {
+		// Zero right-hand side: the solution is x = 0; iterating would
+		// normalize a zero residual (beta = 0) into NaN basis vectors.
+		for i := range x {
+			x[i] = 0
+		}
+		return Stats{Iterations: 0, RelResidual: 0, Converged: true}, nil
+	}
 
 	// Preconditioned right-hand side norm for the stopping test.
 	zb := ws.zb
@@ -263,10 +367,6 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 	zbnorm := norm2(zb)
 	if zbnorm == 0 {
 		zbnorm = 1
-	}
-	bnorm := norm2(b)
-	if bnorm == 0 {
-		bnorm = 1
 	}
 
 	r, z, w := ws.r, ws.z, ws.ap
@@ -285,7 +385,9 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 		}
 		m.Precondition(r, z)
 		beta := norm2(z)
-		if beta/zbnorm < tol {
+		if beta == 0 || beta/zbnorm < tol {
+			// beta == 0 means the residual is exactly zero: converged even
+			// when tol == 0 (continuing would divide by beta).
 			met = true
 			break
 		}
@@ -311,7 +413,8 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 				axpy(-h[i][k], v[i], w)
 			}
 			h[k+1][k] = norm2(w)
-			if h[k+1][k] > 1e-300 {
+			lucky := h[k+1][k] <= 1e-300
+			if !lucky {
 				inv := 1 / h[k+1][k]
 				for i := range w {
 					v[k+1][i] = w[i] * inv
@@ -334,6 +437,15 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 			h[k+1][k] = 0
 			s[k+1] = -sn[k] * s[k]
 			s[k] = cs[k] * s[k]
+			if lucky {
+				// Lucky breakdown: the Krylov subspace is exhausted and the
+				// solution is exact in it. Continuing would read v[k+1],
+				// which was never written this cycle — with a reused
+				// workspace that is a stale basis vector from a previous
+				// (possibly larger) solve.
+				k++
+				break
+			}
 			if math.Abs(s[k+1])/zbnorm < tol {
 				k++
 				break
@@ -360,6 +472,296 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 		return st, fmt.Errorf("%w: GMRES after %d iterations, relres %.3e", ErrNotConverged, totalIters, rel)
 	}
 	return st, nil
+}
+
+// CGBatch solves the k systems A x_j = b_j simultaneously with the
+// preconditioned conjugate gradient method, sharing one SpMM traversal
+// of A per iteration across all right-hand sides. b and x use the
+// interleaved multi-RHS layout of sparse.SpMM (the k values of row i
+// contiguous at [i*k : (i+1)*k]); x holds the initial guesses on entry
+// and the solutions on exit. Each column runs its own scalar recurrence;
+// a column that converges (or has a zero right-hand side, solved as
+// x_j = 0 in 0 iterations) is frozen — its alpha and beta are pinned to
+// zero so the shared vector updates become exact no-ops — while the
+// remaining columns iterate. Deterministic for every worker count.
+func CGBatch(rt *par.Runtime, a *sparse.Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner) ([]Stats, error) {
+	return CGBatchWith(rt, a, b, x, k, tol, maxIter, m, nil)
+}
+
+// preconditionBatch applies m to k interleaved columns, using the batch
+// fast path when m implements BatchPreconditioner and column-by-column
+// de-interleaving through rc/zc otherwise. In the de-interleave path a
+// non-nil act skips frozen columns — their stale z only feeds a search
+// direction whose alpha/beta are pinned to zero, so results are
+// unchanged while an expensive preconditioner (an AMG V-cycle, say)
+// runs once per live column instead of once per column. act must be nil
+// on the first application, before frozen columns hold a finite z.
+func preconditionBatch(m Preconditioner, r, z []float64, n, k int, rc, zc []float64, act []bool) {
+	if bp, ok := m.(BatchPreconditioner); ok {
+		bp.PreconditionBatch(r, z, k)
+		return
+	}
+	for j := 0; j < k; j++ {
+		if act != nil && !act[j] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			rc[i] = r[i*k+j]
+		}
+		m.Precondition(rc, zc)
+		for i := 0; i < n; i++ {
+			z[i*k+j] = zc[i]
+		}
+	}
+}
+
+// CGBatchWith is CGBatch with a caller-provided Workspace; repeated
+// batch solves through the same Workspace perform no allocations. The
+// returned Stats slice (one entry per column) is owned by the workspace
+// and overwritten by the next batch solve through it. ws may be nil.
+func CGBatchWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
+	n := a.Rows
+	if k <= 0 {
+		return nil, fmt.Errorf("krylov: CGBatch needs k >= 1, got %d", k)
+	}
+	if len(b) != n*k || len(x) != n*k {
+		return nil, fmt.Errorf("krylov: CGBatch size mismatch (n=%d, k=%d, len(b)=%d, len(x)=%d)", n, k, len(b), len(x))
+	}
+	if m == nil {
+		m = Identity()
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.ensureBatch(n, k)
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
+	scal := ws.scal
+	rr, rz := scal[0:k], scal[k:2*k]
+	rzNew, alpha := scal[2*k:3*k], scal[3*k:4*k]
+	bnorm, pap := scal[4*k:5*k], scal[5*k:6*k]
+	act, stats := ws.act, ws.stats
+	for j := 0; j < k; j++ {
+		stats[j] = Stats{}
+	}
+
+	// Per-column ||b_j|| in one pass over the interleaved block (single
+	// accumulator per column in index order: deterministic).
+	for j := 0; j < k; j++ {
+		bnorm[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		bb := b[i*k : i*k+k]
+		for j, v := range bb {
+			bnorm[j] += v * v
+		}
+	}
+	for j := 0; j < k; j++ {
+		bnorm[j] = math.Sqrt(bnorm[j])
+	}
+
+	if maxIter <= 0 {
+		// Report the initial residuals without touching x.
+		a.SpMM(rt, k, x, ap)
+		failed := batchFinalize(b, x, ap, bnorm, rr, stats, n, k, tol, act, false)
+		if failed > 0 {
+			return stats, fmt.Errorf("%w: CGBatch after 0 iterations, %d of %d columns above tol", ErrNotConverged, failed, k)
+		}
+		return stats, nil
+	}
+
+	nActive := k
+	for j := 0; j < k; j++ {
+		act[j] = true
+		if bnorm[j] == 0 {
+			// Zero right-hand side: exact solution x_j = 0 in 0 iterations
+			// (zeroed before the residual pass so r_j and rr[j] come out
+			// exactly zero and the column's recurrence is a no-op).
+			for i := 0; i < n; i++ {
+				x[i*k+j] = 0
+			}
+			act[j] = false
+			stats[j] = Stats{Iterations: 0, RelResidual: 0, Converged: true}
+			nActive--
+		}
+	}
+
+	// r = b - A x with per-column rr in the same pass.
+	a.SpMM(rt, k, x, r)
+	for j := 0; j < k; j++ {
+		rr[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		base := i * k
+		rb := r[base : base+k]
+		bb := b[base : base+k]
+		for j := range rb {
+			ri := bb[j] - rb[j]
+			rb[j] = ri
+			rr[j] += ri * ri
+		}
+	}
+	preconditionBatch(m, r, z, n, k, ws.rc, ws.zc, nil)
+	copy(p, z)
+	for j := 0; j < k; j++ {
+		rz[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		base := i * k
+		rb := r[base : base+k]
+		zb := z[base : base+k]
+		for j := range rb {
+			rz[j] += rb[j] * zb[j]
+		}
+	}
+
+	iters := 0
+	for ; iters < maxIter && nActive > 0; iters++ {
+		for j := 0; j < k; j++ {
+			if act[j] && math.Sqrt(rr[j])/bnorm[j] < tol {
+				act[j] = false
+				stats[j].Iterations = iters
+				nActive--
+			}
+		}
+		if nActive == 0 {
+			break
+		}
+		a.SpMM(rt, k, p, ap)
+		for j := 0; j < k; j++ {
+			pap[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			base := i * k
+			pb := p[base : base+k]
+			apb := ap[base : base+k]
+			for j := range pb {
+				pap[j] += pb[j] * apb[j]
+			}
+		}
+		for j := 0; j < k; j++ {
+			if !act[j] {
+				alpha[j] = 0
+				continue
+			}
+			if pap[j] <= 0 {
+				for q := 0; q < k; q++ {
+					if act[q] {
+						stats[q].Iterations = iters
+						stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
+					} else if !stats[q].Converged {
+						// Frozen by the convergence test before the
+						// breakdown: report it converged with its
+						// recurrence residual (batchFinalize never runs
+						// on this path). Zero-RHS columns were finalized
+						// exactly and keep their stats.
+						stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
+						stats[q].Converged = true
+					}
+				}
+				return stats, fmt.Errorf("krylov: CGBatch breakdown in column %d, p^T A p = %g (matrix not SPD?)", j, pap[j])
+			}
+			alpha[j] = rz[j] / pap[j]
+		}
+		// Fused x/r update with the new per-column residual norms; frozen
+		// columns have alpha = 0, so their x and r are bit-identical
+		// no-ops and rr stays below tolerance.
+		for j := 0; j < k; j++ {
+			rr[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			base := i * k
+			xb := x[base : base+k]
+			rb := r[base : base+k]
+			pb := p[base : base+k]
+			apb := ap[base : base+k]
+			for j := range xb {
+				xb[j] += alpha[j] * pb[j]
+				ri := rb[j] - alpha[j]*apb[j]
+				rb[j] = ri
+				rr[j] += ri * ri
+			}
+		}
+		preconditionBatch(m, r, z, n, k, ws.rc, ws.zc, act)
+		for j := 0; j < k; j++ {
+			rzNew[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			base := i * k
+			rb := r[base : base+k]
+			zb := z[base : base+k]
+			for j := range rb {
+				rzNew[j] += rb[j] * zb[j]
+			}
+		}
+		// alpha doubles as beta for the direction update.
+		for j := 0; j < k; j++ {
+			if act[j] {
+				alpha[j] = rzNew[j] / rz[j]
+			} else {
+				alpha[j] = 0
+			}
+			rz[j] = rzNew[j]
+		}
+		for i := 0; i < n; i++ {
+			base := i * k
+			pb := p[base : base+k]
+			zb := z[base : base+k]
+			for j := range pb {
+				pb[j] = zb[j] + alpha[j]*pb[j]
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		if act[j] {
+			stats[j].Iterations = iters
+		}
+	}
+
+	// True final residuals per column.
+	a.SpMM(rt, k, x, ap)
+	failed := batchFinalize(b, x, ap, bnorm, rr, stats, n, k, tol, act, true)
+	if failed > 0 {
+		return stats, fmt.Errorf("%w: CGBatch after %d iterations, %d of %d columns above tol", ErrNotConverged, iters, failed, k)
+	}
+	return stats, nil
+}
+
+// batchFinalize fills per-column RelResidual and Converged from the
+// product ax = A*x and returns the number of unconverged columns. When
+// metByRecurrence is true, a column whose recurrence already met the
+// tolerance (act[j] false) counts as converged regardless of the true
+// residual, matching CG's Stats contract.
+func batchFinalize(b, x, ax, bnorm, rr []float64, stats []Stats, n, k int, tol float64, act []bool, metByRecurrence bool) int {
+	for j := 0; j < k; j++ {
+		rr[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		base := i * k
+		axb := ax[base : base+k]
+		bb := b[base : base+k]
+		for j := range axb {
+			ri := bb[j] - axb[j]
+			rr[j] += ri * ri
+		}
+	}
+	failed := 0
+	for j := 0; j < k; j++ {
+		nb := bnorm[j]
+		if nb == 0 {
+			nb = 1
+		}
+		rel := math.Sqrt(rr[j]) / nb
+		if metByRecurrence && stats[j].Converged {
+			// Zero-RHS columns were finalized exactly; keep their stats.
+			continue
+		}
+		stats[j].RelResidual = rel
+		stats[j].Converged = rel < tol || (metByRecurrence && !act[j])
+		if !stats[j].Converged {
+			failed++
+		}
+	}
+	return failed
 }
 
 // finalResidualWith computes ||b - Ax|| / bnorm using scratch as the

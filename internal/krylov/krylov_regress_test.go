@@ -1,0 +1,251 @@
+// Regression tests for the solver edge cases: workspace reuse across
+// systems of different sizes, zero right-hand sides, and maxIter = 0.
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+// TestWorkspaceReuseAcrossSizes solves a large system and then a
+// strictly smaller one through the same workspace and requires bitwise
+// identity with a fresh-workspace solve. The small GMRES system is an
+// identity matrix with a single-entry right-hand side, which exhausts
+// the Krylov subspace after one step (exact lucky breakdown): without
+// the exact-size re-slice and lucky-breakdown termination, GMRES reads
+// a basis vector the current cycle never wrote — scratch retained from
+// the larger solve.
+func TestWorkspaceReuseAcrossSizes(t *testing.T) {
+	rt := par.New(1)
+	// Well-conditioned so short-restart GMRES converges too; its only
+	// role is to fill the workspace with larger-system scratch.
+	big := gen.Laplacian(gen.Laplace3D(10, 10, 10), 0.5)
+	bb := make([]float64, big.Rows)
+	for i := range bb {
+		bb[i] = float64(i%13) - 6
+	}
+
+	t.Run("gmres-lucky-breakdown", func(t *testing.T) {
+		small := sparse.Identity(10)
+		bs := make([]float64, 10)
+		bs[0] = 2.0 // power of two: the Arnoldi normalization is exact
+
+		ws := &Workspace{}
+		xb := make([]float64, big.Rows)
+		if _, err := GMRESWith(rt, big, bb, xb, 1e-10, 500, 5, nil, ws); err != nil {
+			t.Fatal(err)
+		}
+		reused := make([]float64, 10)
+		stReused, errReused := GMRESWith(rt, small, bs, reused, 0, 20, 5, nil, ws)
+		fresh := make([]float64, 10)
+		stFresh, errFresh := GMRESWith(rt, small, bs, fresh, 0, 20, 5, nil, &Workspace{})
+
+		if (errReused == nil) != (errFresh == nil) {
+			t.Fatalf("error mismatch: reused %v, fresh %v", errReused, errFresh)
+		}
+		if stReused.Iterations != stFresh.Iterations {
+			t.Fatalf("iterations %d, fresh workspace %d", stReused.Iterations, stFresh.Iterations)
+		}
+		for i := range reused {
+			if math.Float64bits(reused[i]) != math.Float64bits(fresh[i]) {
+				t.Fatalf("x[%d] differs bitwise: %x (reused) vs %x (fresh)",
+					i, math.Float64bits(reused[i]), math.Float64bits(fresh[i]))
+			}
+		}
+		// The exact solution is b itself.
+		for i := range reused {
+			if reused[i] != bs[i] {
+				t.Fatalf("x[%d] = %g, want %g", i, reused[i], bs[i])
+			}
+		}
+	})
+
+	t.Run("cg", func(t *testing.T) {
+		small := gen.Laplacian(gen.Laplace3D(4, 4, 4), 1e-2)
+		bs := make([]float64, small.Rows)
+		for i := range bs {
+			bs[i] = float64(i%7) - 3
+		}
+		ws := &Workspace{}
+		xb := make([]float64, big.Rows)
+		if _, err := CGWith(rt, big, bb, xb, 1e-10, 500, nil, ws); err != nil {
+			t.Fatal(err)
+		}
+		reused := make([]float64, small.Rows)
+		if _, err := CGWith(rt, small, bs, reused, 1e-10, 500, nil, ws); err != nil {
+			t.Fatal(err)
+		}
+		fresh := make([]float64, small.Rows)
+		if _, err := CGWith(rt, small, bs, fresh, 1e-10, 500, nil, &Workspace{}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range reused {
+			if math.Float64bits(reused[i]) != math.Float64bits(fresh[i]) {
+				t.Fatalf("x[%d] differs bitwise: %x vs %x",
+					i, math.Float64bits(reused[i]), math.Float64bits(fresh[i]))
+			}
+		}
+	})
+}
+
+// TestZeroRHSReturnsZero pins the b = 0 contract: the exact solution
+// x = 0 in 0 iterations, for any initial guess and any tolerance —
+// instead of iterating a nonzero guess down (CG) or normalizing a zero
+// residual into NaN basis vectors (GMRES with tol = 0).
+func TestZeroRHSReturnsZero(t *testing.T) {
+	rt := par.New(1)
+	a := gen.Laplacian(gen.Laplace3D(5, 5, 5), 1e-2)
+	n := a.Rows
+	zero := make([]float64, n)
+
+	type solve func(x []float64, tol float64) (Stats, error)
+	solvers := map[string]solve{
+		"cg": func(x []float64, tol float64) (Stats, error) {
+			return CG(rt, a, zero, x, tol, 100, nil)
+		},
+		"gmres": func(x []float64, tol float64) (Stats, error) {
+			return GMRES(rt, a, zero, x, tol, 100, 10, nil)
+		},
+	}
+	for name, run := range solvers {
+		for _, tol := range []float64{1e-10, 0} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i%5) - 2 // nonzero initial guess
+			}
+			st, err := run(x, tol)
+			if err != nil {
+				t.Fatalf("%s tol=%g: %v", name, tol, err)
+			}
+			if st.Iterations != 0 || !st.Converged || st.RelResidual != 0 {
+				t.Fatalf("%s tol=%g: stats %+v, want 0 iterations, converged, zero residual", name, tol, st)
+			}
+			for i := range x {
+				if x[i] != 0 {
+					t.Fatalf("%s tol=%g: x[%d] = %g, want exactly 0", name, tol, i, x[i])
+				}
+			}
+		}
+	}
+
+	// CGBatch: a zero column among nonzero ones.
+	const k = 4
+	b := make([]float64, n*k)
+	x := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			if j == 2 {
+				continue // column 2 stays zero
+			}
+			b[i*k+j] = float64((i+j)%9) - 4
+		}
+		x[i*k+2] = 1 // nonzero guess in the zero column
+	}
+	stats, err := CGBatch(rt, a, b, x, k, 1e-10, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[2].Iterations != 0 || !stats[2].Converged || stats[2].RelResidual != 0 {
+		t.Fatalf("zero column stats %+v", stats[2])
+	}
+	for i := 0; i < n; i++ {
+		if x[i*k+2] != 0 {
+			t.Fatalf("zero column x[%d] = %g, want exactly 0", i, x[i*k+2])
+		}
+	}
+	for _, j := range []int{0, 1, 3} {
+		if !stats[j].Converged || stats[j].Iterations == 0 {
+			t.Fatalf("column %d stats %+v, want converged after > 0 iterations", j, stats[j])
+		}
+	}
+}
+
+// TestMaxIterZeroReportsInitialResidual pins the maxIter = 0 contract:
+// the initial residual is reported and x is not touched.
+func TestMaxIterZeroReportsInitialResidual(t *testing.T) {
+	rt := par.New(1)
+	a := gen.Laplacian(gen.Laplace3D(5, 5, 5), 1e-2)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	guess := make([]float64, n)
+	for i := range guess {
+		guess[i] = float64(i%3) - 1
+	}
+	// Reference residual ||b - A guess|| / ||b||.
+	r := make([]float64, n)
+	a.SpMV(rt, guess, r)
+	rr := 0.0
+	for i := range r {
+		d := b[i] - r[i]
+		rr += d * d
+	}
+	wantRel := math.Sqrt(rr) / norm2(b)
+
+	check := func(name string, st Stats, err error, x []float64) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: expected ErrNotConverged for maxIter=0", name)
+		}
+		if st.Iterations != 0 {
+			t.Fatalf("%s: %d iterations, want 0", name, st.Iterations)
+		}
+		if math.Abs(st.RelResidual-wantRel) > 1e-14*(1+wantRel) {
+			t.Fatalf("%s: relres %g, want %g", name, st.RelResidual, wantRel)
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(guess[i]) {
+				t.Fatalf("%s: x[%d] modified: %g, want %g", name, i, x[i], guess[i])
+			}
+		}
+	}
+
+	x := append([]float64(nil), guess...)
+	st, err := CG(rt, a, b, x, 1e-10, 0, nil)
+	check("cg", st, err, x)
+
+	x = append([]float64(nil), guess...)
+	st, err = GMRES(rt, a, b, x, 1e-10, 0, 10, nil)
+	check("gmres", st, err, x)
+
+	// Negative maxIter must behave like 0, not clamp the restart into a
+	// negative Arnoldi dimension (which used to panic in make).
+	x = append([]float64(nil), guess...)
+	st, err = GMRES(rt, a, b, x, 1e-10, -2, 10, nil)
+	check("gmres maxIter=-2", st, err, x)
+
+	const k = 3
+	xb := make([]float64, n*k)
+	bb := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			xb[i*k+j] = guess[i]
+			bb[i*k+j] = b[i]
+		}
+	}
+	stats, err := CGBatch(rt, a, bb, xb, k, 1e-10, 0, nil)
+	if err == nil {
+		t.Fatal("batch: expected ErrNotConverged for maxIter=0")
+	}
+	for j := 0; j < k; j++ {
+		if stats[j].Iterations != 0 {
+			t.Fatalf("batch column %d: %d iterations, want 0", j, stats[j].Iterations)
+		}
+		if math.Abs(stats[j].RelResidual-wantRel) > 1e-13*(1+wantRel) {
+			t.Fatalf("batch column %d: relres %g, want %g", j, stats[j].RelResidual, wantRel)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			if math.Float64bits(xb[i*k+j]) != math.Float64bits(guess[i]) {
+				t.Fatalf("batch: x[%d,%d] modified", i, j)
+			}
+		}
+	}
+}

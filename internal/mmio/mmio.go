@@ -88,7 +88,13 @@ type entry struct {
 }
 
 func readEntries(sc *bufio.Scanner, h header) ([]entry, error) {
-	entries := make([]entry, 0, h.nnz)
+	// Cap the header-driven preallocation: a corrupt size line must not
+	// be able to demand an arbitrarily large upfront allocation.
+	capHint := h.nnz
+	if capHint > 1<<22 {
+		capHint = 1 << 22
+	}
+	entries := make([]entry, 0, capHint)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -124,14 +130,21 @@ func readEntries(sc *bufio.Scanner, h header) ([]entry, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(entries) != h.nnz {
-		return nil, fmt.Errorf("mmio: header promises %d entries, found %d", h.nnz, len(entries))
+	if len(entries) < h.nnz {
+		return nil, fmt.Errorf("mmio: truncated input: header promises %d entries, found only %d", h.nnz, len(entries))
+	}
+	if len(entries) > h.nnz {
+		return nil, fmt.Errorf("mmio: header promises %d entries, found %d (trailing data?)", h.nnz, len(entries))
 	}
 	return entries, nil
 }
 
 // ReadMatrix parses a Matrix Market stream into a CSR matrix. Symmetric
-// inputs are expanded to full storage; duplicate coordinates are summed.
+// inputs are expanded to full storage. Duplicate coordinates are
+// rejected: the Matrix Market coordinate format stores each entry once,
+// and silently summing (or keeping one of) the duplicates corrupts the
+// matrix — in a symmetric file, storing both triangles of a pair makes
+// the expanded value silently double.
 func ReadMatrix(r io.Reader) (*sparse.Matrix, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -158,20 +171,24 @@ func ReadMatrix(r io.Reader) (*sparse.Matrix, error) {
 		}
 		return entries[i].c < entries[j].c
 	})
+	for i := 1; i < len(entries); i++ {
+		if entries[i].r == entries[i-1].r && entries[i].c == entries[i-1].c {
+			hint := ""
+			if h.symmetric {
+				hint = " (a symmetric file stores each off-diagonal pair once; the mirror is implied)"
+			}
+			return nil, fmt.Errorf("mmio: duplicate coordinate entry (%d,%d)%s",
+				entries[i].r+1, entries[i].c+1, hint)
+		}
+	}
 	m := &sparse.Matrix{Rows: h.rows, Cols: h.cols}
 	m.RowPtr = make([]int, h.rows+1)
-	for i := 0; i < len(entries); {
-		e := entries[i]
-		v := e.v
-		j := i + 1
-		for j < len(entries) && entries[j].r == e.r && entries[j].c == e.c {
-			v += entries[j].v // sum duplicates
-			j++
-		}
+	m.Col = make([]int32, 0, len(entries))
+	m.Val = make([]float64, 0, len(entries))
+	for _, e := range entries {
 		m.Col = append(m.Col, e.c)
-		m.Val = append(m.Val, v)
+		m.Val = append(m.Val, e.v)
 		m.RowPtr[e.r+1]++
-		i = j
 	}
 	for i := 0; i < h.rows; i++ {
 		m.RowPtr[i+1] += m.RowPtr[i]

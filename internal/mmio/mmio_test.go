@@ -124,19 +124,64 @@ func TestGraphRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDuplicatesSummed(t *testing.T) {
-	in := `%%MatrixMarket matrix coordinate real general
-2 2 3
-1 1 1.0
-1 1 2.5
-2 2 1.0
-`
-	m, err := ReadMatrix(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
+// TestMalformedInputsRejected pins the hardening contract: out-of-range
+// indices, duplicate coordinates (including symmetric mirror pairs), and
+// truncated or over-long files produce descriptive errors instead of
+// silent corruption or panics.
+func TestMalformedInputsRejected(t *testing.T) {
+	cases := map[string]struct {
+		in      string
+		wantSub string // substring the error must contain
+	}{
+		"duplicate entry": {
+			in: "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n1 1 2.5\n2 2 1.0\n",
+			wantSub: "duplicate coordinate entry (1,1)",
+		},
+		"duplicate after sort": {
+			in: "%%MatrixMarket matrix coordinate real general\n3 3 3\n2 2 1.0\n1 1 1.0\n2 2 4.0\n",
+			wantSub: "duplicate coordinate entry (2,2)",
+		},
+		"symmetric both triangles": {
+			in: "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 1.0\n2 1 -1.0\n1 2 -1.0\n",
+			wantSub: "mirror is implied",
+		},
+		"truncated file": {
+			in: "%%MatrixMarket matrix coordinate real general\n3 3 4\n1 1 1.0\n2 2 1.0\n",
+			wantSub: "truncated",
+		},
+		"trailing entries": {
+			in: "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 1.0\n",
+			wantSub: "trailing",
+		},
+		"row index zero": {
+			in: "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+			wantSub: "out of bounds",
+		},
+		"row index past rows": {
+			in: "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+			wantSub: "out of bounds",
+		},
+		"col index past cols": {
+			in: "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 5 1.0\n",
+			wantSub: "out of bounds",
+		},
+		"negative size": {
+			in: "%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1.0\n",
+			wantSub: "negative",
+		},
+		"truncated entry line": {
+			in: "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2\n",
+			wantSub: "short entry",
+		},
 	}
-	if m.NNZ() != 2 || m.Val[0] != 3.5 {
-		t.Fatalf("duplicates not summed: nnz=%d val=%v", m.NNZ(), m.Val)
+	for name, tc := range cases {
+		_, err := ReadMatrix(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: error not reported", name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, tc.wantSub)
+		}
 	}
 }
 

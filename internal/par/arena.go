@@ -68,8 +68,26 @@ func GetZeroed[T Elem](a *Arena, n int) []T {
 	return s
 }
 
+// roundWords rounds a fresh allocation up to a size bucket: the next
+// power of two up to 4096 words (32 KiB), then the next multiple of
+// 4096. Hot-path scratch requests arrive in near-miss sizes — n row
+// counters, n+1 offsets, n*k multi-RHS block scratch for small k — and
+// bucketing lets one retained buffer serve the whole family instead of
+// thrashing the free list with exact-fit allocations (at most one
+// bucket step, 1/8 of the largest request, of overhead).
+func roundWords(words int) int {
+	if words >= 4096 {
+		return (words + 4095) &^ 4095
+	}
+	b := 64
+	for b < words {
+		b <<= 1
+	}
+	return b
+}
+
 // take removes and returns a free buffer with capacity >= words,
-// preferring the tightest fit, or allocates a fresh one.
+// preferring the tightest fit, or allocates a fresh bucket-rounded one.
 func (a *Arena) take(words int) []uint64 {
 	best := -1
 	for k, b := range a.free {
@@ -78,7 +96,7 @@ func (a *Arena) take(words int) []uint64 {
 		}
 	}
 	if best < 0 {
-		return make([]uint64, words)
+		return make([]uint64, roundWords(words))[:words]
 	}
 	b := a.free[best]
 	last := len(a.free) - 1

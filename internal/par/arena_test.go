@@ -55,6 +55,31 @@ func TestArenaTightestFit(t *testing.T) {
 	}
 }
 
+func TestArenaBucketRoundingServesNearMissSizes(t *testing.T) {
+	a := &Arena{}
+	// A returned buffer must serve slightly larger follow-up requests in
+	// the same bucket: n, n+1, and n*k block scratch for small factors.
+	s1 := Get[int](a, 100) // bucket: 128 words
+	p1 := uintptr(unsafe.Pointer(unsafe.SliceData(s1)))
+	Put(a, s1)
+	s2 := Get[int](a, 101)
+	if uintptr(unsafe.Pointer(unsafe.SliceData(s2))) != p1 {
+		t.Fatal("n+1 request did not reuse the bucket-rounded buffer")
+	}
+	Put(a, s2)
+	s3 := Get[int](a, 128)
+	if uintptr(unsafe.Pointer(unsafe.SliceData(s3))) != p1 {
+		t.Fatal("bucket-boundary request did not reuse the buffer")
+	}
+	Put(a, s3)
+	// Large requests round to 4096-word multiples, not powers of two.
+	big := Get[uint64](a, 5000)
+	if cap(big) != 8192 {
+		t.Fatalf("cap = %d, want 8192 (two 4096-word buckets)", cap(big))
+	}
+	Put(a, big)
+}
+
 func TestArenaZeroAllocSteadyState(t *testing.T) {
 	a := &Arena{}
 	Put(a, Get[float64](a, 512)) // warm up

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"slices"
 	"testing"
 
 	"mis2go/internal/par"
@@ -41,6 +42,106 @@ func TestGraphUnsortedRowsFallback(t *testing.T) {
 	for k := range g.Col {
 		if g.Col[k] != want.Col[k] {
 			t.Fatalf("Col[%d] = %d, want %d", k, g.Col[k], want.Col[k])
+		}
+	}
+}
+
+// canonicalize returns a copy of a with every row sorted and
+// deduplicated (first value kept per column) — a matrix that satisfies
+// the Validate invariant and therefore takes the direct
+// count+scan+merge Graph path.
+func canonicalize(a *Matrix) *Matrix {
+	c := &Matrix{Rows: a.Rows, Cols: a.Cols}
+	c.RowPtr = make([]int, a.Rows+1)
+	for i := 0; i < a.Rows; i++ {
+		type cv struct {
+			col int32
+			val float64
+		}
+		row := make([]cv, 0, a.RowPtr[i+1]-a.RowPtr[i])
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			row = append(row, cv{a.Col[p], a.Val[p]})
+		}
+		slices.SortStableFunc(row, func(x, y cv) int { return int(x.col) - int(y.col) })
+		for k, e := range row {
+			if k > 0 && row[k-1].col == e.col {
+				continue
+			}
+			c.Col = append(c.Col, e.col)
+			c.Val = append(c.Val, e.val)
+		}
+		c.RowPtr[i+1] = len(c.Col)
+	}
+	return c
+}
+
+// TestGraphFallbackAdversarial feeds the edge-list fallback matrices
+// that violate the sorted/duplicate-free row invariant in every way the
+// tolerant contract admits — duplicate columns, reverse-sorted rows,
+// empty rows, self-loop-only rows — and requires the resulting graph to
+// be bitwise identical (RowPtr and Col) to the direct count+scan+merge
+// path run on the canonicalized equivalent, at every worker count.
+func TestGraphFallbackAdversarial(t *testing.T) {
+	cases := map[string]*Matrix{
+		"duplicate columns": {
+			Rows: 4, Cols: 4,
+			RowPtr: []int{0, 3, 5, 7, 8},
+			Col:    []int32{1, 1, 2, 0, 0, 3, 3, 2},
+			Val:    []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		},
+		"reverse sorted rows": {
+			Rows: 4, Cols: 4,
+			RowPtr: []int{0, 3, 6, 8, 10},
+			Col:    []int32{3, 2, 1, 2, 1, 0, 3, 0, 2, 1},
+			Val:    []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		},
+		"empty rows": {
+			Rows: 5, Cols: 5,
+			RowPtr: []int{0, 0, 2, 2, 4, 4},
+			Col:    []int32{4, 0, 2, 1},
+			Val:    []float64{1, 2, 3, 4},
+		},
+		"self loop only rows": {
+			Rows: 4, Cols: 4,
+			RowPtr: []int{0, 1, 3, 4, 6},
+			Col:    []int32{0, 1, 0, 2, 3, 3},
+			Val:    []float64{1, 2, 3, 4, 5, 6},
+		},
+		"mixed adversarial": {
+			// Duplicates, reverse order, self loops and an empty row in
+			// one matrix; also rectangular-ish indices at the boundary.
+			Rows: 6, Cols: 6,
+			RowPtr: []int{0, 4, 4, 7, 9, 10, 12},
+			Col:    []int32{5, 5, 0, 2, 4, 2, 2, 3, 1, 4, 1, 1},
+			Val:    []float64{1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+		},
+	}
+	for name, a := range cases {
+		canon := canonicalize(a)
+		if !canon.rowsSorted(par.New(1)) {
+			t.Fatalf("%s: canonicalized matrix still unsorted", name)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			rt := par.New(workers)
+			got := a.GraphWith(rt)
+			want := canon.GraphWith(rt)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s w=%d: invalid graph: %v", name, workers, err)
+			}
+			if got.N != want.N || len(got.Col) != len(want.Col) {
+				t.Fatalf("%s w=%d: |V|=%d nnz=%d, want |V|=%d nnz=%d",
+					name, workers, got.N, len(got.Col), want.N, len(want.Col))
+			}
+			for v := 0; v <= got.N; v++ {
+				if got.RowPtr[v] != want.RowPtr[v] {
+					t.Fatalf("%s w=%d: RowPtr[%d]=%d, want %d", name, workers, v, got.RowPtr[v], want.RowPtr[v])
+				}
+			}
+			for k := range got.Col {
+				if got.Col[k] != want.Col[k] {
+					t.Fatalf("%s w=%d: Col[%d]=%d, want %d", name, workers, k, got.Col[k], want.Col[k])
+				}
+			}
 		}
 	}
 }

@@ -93,6 +93,170 @@ func (a *Matrix) spmvRange(x, y []float64, lo, hi int) {
 	}
 }
 
+// SpMVResidual computes r = b - A*x in one traversal of A, fusing the
+// elementwise subtraction into the product pass (the V-cycle's residual
+// step without the second full-vector sweep). r must not alias x. The
+// serial fast path bypasses the closure API so the call is allocation-free.
+func (a *Matrix) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
+	if rt.Serial(a.Rows) {
+		a.spmvResidualRange(b, x, r, 0, a.Rows)
+		return
+	}
+	rt.For(a.Rows, func(lo, hi int) {
+		a.spmvResidualRange(b, x, r, lo, hi)
+	})
+}
+
+func (a *Matrix) spmvResidualRange(b, x, r []float64, lo, hi int) {
+	rp := a.RowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := a.Col[start:end]
+		vals := a.Val[start:end]
+		var s0, s1 float64
+		k := 0
+		for ; k+4 <= len(cols); k += 4 {
+			s0 += vals[k]*x[cols[k]] + vals[k+1]*x[cols[k+1]]
+			s1 += vals[k+2]*x[cols[k+2]] + vals[k+3]*x[cols[k+3]]
+		}
+		for ; k < len(cols); k++ {
+			s0 += vals[k] * x[cols[k]]
+		}
+		r[i] = b[i] - (s0 + s1)
+	}
+}
+
+// SpMVAdd computes y += A*x in one traversal of A, fusing the correction
+// add into the product pass (the V-cycle's prolongate-and-correct step
+// without a scratch vector or second sweep). y must not alias x.
+func (a *Matrix) SpMVAdd(rt *par.Runtime, x, y []float64) {
+	if rt.Serial(a.Rows) {
+		a.spmvAddRange(x, y, 0, a.Rows)
+		return
+	}
+	rt.For(a.Rows, func(lo, hi int) {
+		a.spmvAddRange(x, y, lo, hi)
+	})
+}
+
+func (a *Matrix) spmvAddRange(x, y []float64, lo, hi int) {
+	rp := a.RowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := a.Col[start:end]
+		vals := a.Val[start:end]
+		var s0, s1 float64
+		k := 0
+		for ; k+4 <= len(cols); k += 4 {
+			s0 += vals[k]*x[cols[k]] + vals[k+1]*x[cols[k+1]]
+			s1 += vals[k+2]*x[cols[k+2]] + vals[k+3]*x[cols[k+3]]
+		}
+		for ; k < len(cols); k++ {
+			s0 += vals[k] * x[cols[k]]
+		}
+		y[i] += s0 + s1
+	}
+}
+
+// SpMM computes the multi-RHS product Y = A*X for k right-hand sides.
+// X and Y use the interleaved (column-blocked) layout: the k values of
+// row i are contiguous at [i*k : (i+1)*k], so one traversal of A serves
+// all k right-hand sides and every gather from X touches one contiguous
+// block. len(x) must be a.Cols*k and len(y) a.Rows*k. Specialized
+// register-accumulator kernels handle the 4- and 8-wide blocks the
+// batched solvers use; other widths accumulate directly into Y's row
+// block. Deterministic: per-row summation order is fixed.
+func (a *Matrix) SpMM(rt *par.Runtime, k int, x, y []float64) {
+	if k == 1 {
+		a.SpMV(rt, x, y)
+		return
+	}
+	if rt.Serial(a.Rows) {
+		a.spmmDispatch(k, x, y, 0, a.Rows)
+		return
+	}
+	rt.For(a.Rows, func(lo, hi int) {
+		a.spmmDispatch(k, x, y, lo, hi)
+	})
+}
+
+// spmmDispatch selects the width-specialized kernel for rows [lo, hi).
+func (a *Matrix) spmmDispatch(k int, x, y []float64, lo, hi int) {
+	switch k {
+	case 4:
+		a.spmm4Range(x, y, lo, hi)
+	case 8:
+		a.spmm8Range(x, y, lo, hi)
+	default:
+		a.spmmRange(k, x, y, lo, hi)
+	}
+}
+
+// spmm4Range is the 4-wide SpMM kernel: four independent accumulators
+// per row, one contiguous 4-block gather from X per stored entry.
+func (a *Matrix) spmm4Range(x, y []float64, lo, hi int) {
+	rp := a.RowPtr
+	for i := lo; i < hi; i++ {
+		var s0, s1, s2, s3 float64
+		for p := rp[i]; p < rp[i+1]; p++ {
+			v := a.Val[p]
+			xb := x[int(a.Col[p])*4:]
+			xb = xb[:4]
+			s0 += v * xb[0]
+			s1 += v * xb[1]
+			s2 += v * xb[2]
+			s3 += v * xb[3]
+		}
+		yb := y[i*4:]
+		yb = yb[:4]
+		yb[0], yb[1], yb[2], yb[3] = s0, s1, s2, s3
+	}
+}
+
+// spmm8Range is the 8-wide SpMM kernel.
+func (a *Matrix) spmm8Range(x, y []float64, lo, hi int) {
+	rp := a.RowPtr
+	for i := lo; i < hi; i++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for p := rp[i]; p < rp[i+1]; p++ {
+			v := a.Val[p]
+			xb := x[int(a.Col[p])*8:]
+			xb = xb[:8]
+			s0 += v * xb[0]
+			s1 += v * xb[1]
+			s2 += v * xb[2]
+			s3 += v * xb[3]
+			s4 += v * xb[4]
+			s5 += v * xb[5]
+			s6 += v * xb[6]
+			s7 += v * xb[7]
+		}
+		yb := y[i*8:]
+		yb = yb[:8]
+		yb[0], yb[1], yb[2], yb[3] = s0, s1, s2, s3
+		yb[4], yb[5], yb[6], yb[7] = s4, s5, s6, s7
+	}
+}
+
+// spmmRange is the generic-width SpMM kernel; it accumulates directly
+// into Y's row block (owned by this row), so no scratch is needed.
+func (a *Matrix) spmmRange(k int, x, y []float64, lo, hi int) {
+	rp := a.RowPtr
+	for i := lo; i < hi; i++ {
+		yb := y[i*k : i*k+k]
+		for j := range yb {
+			yb[j] = 0
+		}
+		for p := rp[i]; p < rp[i+1]; p++ {
+			v := a.Val[p]
+			xb := x[int(a.Col[p])*k : int(a.Col[p])*k+k]
+			for j, xv := range xb {
+				yb[j] += v * xv
+			}
+		}
+	}
+}
+
 // Diagonal returns the diagonal entries of A (zero where absent).
 func (a *Matrix) Diagonal() []float64 {
 	d := make([]float64, a.Rows)
@@ -466,6 +630,145 @@ func RAP(rt *par.Runtime, r, a, p *Matrix) (*Matrix, error) {
 		return nil, err
 	}
 	return Multiply(rt, r, ap)
+}
+
+// smoothScratch is the per-participant state of SmoothProlongator: the
+// Gustavson mark/acc pair for the product D^{-1}A*P0 plus a column
+// collector for the product pattern of the current row.
+type smoothScratch struct {
+	mark []int32
+	acc  []float64
+	cols []int32
+}
+
+// SmoothProlongator computes P = (I - omega*D^{-1}*A) * P0 in a single
+// blocked Gustavson pass per row: the product row of D^{-1}A*P0 is
+// accumulated with arena-backed mark/acc scratch, then merged with the
+// (sorted) row of P0 on write-out. This fuses the row scaling by dinv,
+// the SpGEMM, and the sparse Add of the seed's three-step setup into one
+// traversal with no intermediate matrices. The per-row accumulation and
+// merge order match the three-step composition exactly, so results are
+// bitwise identical to it — and independent of the worker count.
+func SmoothProlongator(rt *par.Runtime, a, p0 *Matrix, dinv []float64, omega float64) (*Matrix, error) {
+	if a.Cols != p0.Rows {
+		return nil, fmt.Errorf("sparse: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, p0.Rows, p0.Cols)
+	}
+	if len(dinv) != a.Rows {
+		return nil, fmt.Errorf("sparse: dinv length %d, want %d", len(dinv), a.Rows)
+	}
+	c := &Matrix{Rows: a.Rows, Cols: p0.Cols}
+	c.RowPtr = make([]int, a.Rows+1)
+	car := par.AcquireArena()
+	counts := par.Get[int](car, a.Rows)
+
+	// Symbolic pass: per row, count the union of the product pattern and
+	// the P0 row pattern.
+	par.ForWith(rt, a.Rows,
+		func(ar *par.Arena) []int32 {
+			mark := par.Get[int32](ar, p0.Cols)
+			for i := range mark {
+				mark[i] = -1
+			}
+			return mark
+		},
+		func(lo, hi int, mark []int32) {
+			for i := lo; i < hi; i++ {
+				cnt := 0
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					k := a.Col[p]
+					for q := p0.RowPtr[k]; q < p0.RowPtr[k+1]; q++ {
+						j := p0.Col[q]
+						if mark[j] != int32(i) {
+							mark[j] = int32(i)
+							cnt++
+						}
+					}
+				}
+				for q := p0.RowPtr[i]; q < p0.RowPtr[i+1]; q++ {
+					if mark[p0.Col[q]] != int32(i) {
+						cnt++
+					}
+				}
+				counts[i] = cnt
+			}
+		},
+		func(ar *par.Arena, mark []int32) { par.Put(ar, mark) })
+	nnz := par.ScanExclusive(rt, counts, c.RowPtr)
+	par.Put(car, counts)
+	par.ReleaseArena(car)
+	c.Col = make([]int32, nnz)
+	c.Val = make([]float64, nnz)
+
+	// Numeric pass: accumulate the product row, sort its pattern, then
+	// two-pointer merge with the P0 row writing p0 - omega*product.
+	par.ForWith(rt, a.Rows,
+		func(ar *par.Arena) smoothScratch {
+			s := smoothScratch{
+				mark: par.Get[int32](ar, p0.Cols),
+				acc:  par.Get[float64](ar, p0.Cols),
+				cols: par.Get[int32](ar, p0.Cols),
+			}
+			for i := range s.mark {
+				s.mark[i] = -1
+			}
+			return s
+		},
+		func(lo, hi int, s smoothScratch) {
+			mark, acc := s.mark, s.acc
+			for i := lo; i < hi; i++ {
+				di := dinv[i]
+				nc := 0
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					ak := di * a.Val[p]
+					row := a.Col[p]
+					for q := p0.RowPtr[row]; q < p0.RowPtr[row+1]; q++ {
+						j := p0.Col[q]
+						if mark[j] != int32(i) {
+							mark[j] = int32(i)
+							acc[j] = ak * p0.Val[q]
+							s.cols[nc] = j
+							nc++
+						} else {
+							acc[j] += ak * p0.Val[q]
+						}
+					}
+				}
+				prod := s.cols[:nc]
+				sortRow(prod)
+				// Merge the sorted product pattern with the sorted P0 row.
+				base := c.RowPtr[i]
+				k := base
+				pp, pq := 0, p0.RowPtr[i]
+				ep := nc
+				eq := p0.RowPtr[i+1]
+				for pp < ep || pq < eq {
+					switch {
+					case pq >= eq || (pp < ep && prod[pp] < p0.Col[pq]):
+						j := prod[pp]
+						c.Col[k] = j
+						c.Val[k] = -omega * acc[j]
+						pp++
+					case pp >= ep || p0.Col[pq] < prod[pp]:
+						c.Col[k] = p0.Col[pq]
+						c.Val[k] = p0.Val[pq]
+						pq++
+					default:
+						j := prod[pp]
+						c.Col[k] = j
+						c.Val[k] = p0.Val[pq] + -omega*acc[j]
+						pp++
+						pq++
+					}
+					k++
+				}
+			}
+		},
+		func(ar *par.Arena, s smoothScratch) {
+			par.Put(ar, s.mark)
+			par.Put(ar, s.acc)
+			par.Put(ar, s.cols)
+		})
+	return c, nil
 }
 
 // Scale multiplies all values by s in place.

@@ -155,6 +155,12 @@ func NewAMG(a *Matrix, opt AMGOptions) (*AMG, error) { return amg.Build(a, opt) 
 // Preconditioner maps a residual to an approximate error (z = M^{-1} r).
 type Preconditioner = krylov.Preconditioner
 
+// BatchPreconditioner is implemented by preconditioners that apply
+// M^{-1} to k residual columns in the interleaved multi-RHS layout in
+// one pass (the Jacobi preconditioner does); SolveCGBatch uses the fast
+// path when available and de-interleaves otherwise.
+type BatchPreconditioner = krylov.BatchPreconditioner
+
 // SolveStats reports iterations and the final relative residual.
 type SolveStats = krylov.Stats
 
@@ -167,6 +173,33 @@ func SolveCG(a *Matrix, b, x []float64, tol float64, maxIter int, m Precondition
 // SolveGMRES runs preconditioned restarted GMRES on A x = b.
 func SolveGMRES(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int) (SolveStats, error) {
 	return krylov.GMRES(par.New(threads), a, b, x, tol, maxIter, restart, m)
+}
+
+// SpMM computes the batched multi-RHS product Y = A*X for k right-hand
+// sides stored in the interleaved layout: the k values of row i are
+// contiguous at [i*k : (i+1)*k]. One traversal of A serves all k
+// columns (4- and 8-wide blocks take unrolled register kernels), so the
+// matrix bytes — the dominant traffic of sparse iteration — are read
+// once instead of k times. len(x) must be a.Cols*k, len(y) a.Rows*k.
+func SpMM(a *Matrix, x, y []float64, k, threads int) {
+	a.SpMM(par.New(threads), k, x, y)
+}
+
+// SolveCGBatch solves the k SPD systems A x_j = b_j simultaneously with
+// conjugate gradient recurrences sharing one SpMM traversal of A per
+// iteration. b and x use the interleaved layout of SpMM; the returned
+// stats hold one entry per column. Columns converge (and freeze)
+// independently; a zero column returns x_j = 0 in 0 iterations.
+func SolveCGBatch(a *Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, threads int) ([]SolveStats, error) {
+	return krylov.CGBatch(par.New(threads), a, b, x, k, tol, maxIter, m)
+}
+
+// SolveCGBatchWith is SolveCGBatch reusing a caller-held workspace:
+// repeated batch solves through the same workspace perform zero
+// allocations. The returned stats slice is owned by the workspace and
+// overwritten by its next batch solve.
+func SolveCGBatchWith(a *Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, threads int, ws *SolverWorkspace) ([]SolveStats, error) {
+	return krylov.CGBatchWith(par.New(threads), a, b, x, k, tol, maxIter, m, ws)
 }
 
 // SolverWorkspace holds the scratch vectors of the Krylov solvers so
