@@ -12,7 +12,7 @@
 
 PR ?= 1
 BASELINE ?= BENCH_SEED.json
-BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated'
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$'
 
 .PHONY: all build test race bench check
 
@@ -34,4 +34,5 @@ check:
 bench:
 	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=1 . \
 		| go run ./cmd/benchjson -baseline $(BASELINE) -label pr$(PR) \
-			-ratio SpMM8_vs_8xSpMV=SpMV8Separate/SpMM8 -out BENCH_PR$(PR).json
+			-ratio SpMM8_vs_8xSpMV=SpMV8Separate/SpMM8 \
+			-ratio Resetup_vs_FullSetup=AMGBuild/AMGRefresh -out BENCH_PR$(PR).json

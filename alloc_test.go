@@ -167,6 +167,38 @@ func TestVCycleZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestRefreshZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector bypasses sync.Pool arena recycling, charging spurious allocations")
+	}
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	h, err := NewAMG(a, AMGOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New same-pattern values: the steady-state re-setup input.
+	a2 := a.Clone()
+	for p := range a2.Val {
+		a2.Val[p] *= 1.25
+	}
+	// Warm-up refreshes populate the arena scratch (SpGEMM mark/acc
+	// buffers) and the reused pivot array.
+	for i := 0; i < 2; i++ {
+		if err := h.Refresh(a2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := h.Refresh(a2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Hierarchy.Refresh: %v allocs/op, want 0", allocs)
+	}
+}
+
 func TestGSSweepZeroAllocs(t *testing.T) {
 	g := gen.Laplace3D(12, 12, 12)
 	a := gen.Laplacian(g, 1e-2)

@@ -208,6 +208,46 @@ func BenchmarkCGBatch8Jacobi(b *testing.B) {
 	}
 }
 
+// BenchmarkAMGBuild measures one full AMG setup — graph extraction,
+// MIS-2 aggregation, SpGEMM pattern discovery, and all numeric work.
+// Compare against BenchmarkAMGRefresh (the values-only re-setup on the
+// same pattern); the ratio is recorded in BENCH_PR3.json as
+// Resetup_vs_FullSetup.
+func BenchmarkAMGBuild(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	a := gen.Laplacian(g, 1e-4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAMG(a, AMGOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAMGRefresh measures the same-pattern numeric re-setup
+// (Hierarchy.Refresh): cached plans replayed, level matrices and the
+// coarse factorization refilled in place.
+func BenchmarkAMGRefresh(b *testing.B) {
+	g := gen.Laplace3D(24, 24, 24)
+	a := gen.Laplacian(g, 1e-4)
+	h, err := NewAMG(a, AMGOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a2 := a.Clone()
+	for p := range a2.Val {
+		a2.Val[p] *= 1.25
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Refresh(a2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkVCycleApply measures one V-cycle application (the AMG
 // preconditioner cost inside every CG iteration).
 func BenchmarkVCycleApply(b *testing.B) {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,7 +35,11 @@ type Entry struct {
 
 // File is the on-disk BENCH_*.json layout.
 type File struct {
-	Label      string           `json:"label"`
+	Label string `json:"label"`
+	// GoVersion and GoMaxProcs record the toolchain and parallelism the
+	// numbers were measured with, so trajectory entries from different
+	// environments are distinguishable.
+	GoVersion  string           `json:"go_version,omitempty"`
 	GoMaxProcs int              `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
 	// Ratios are derived cross-benchmark speedups requested with -ratio
@@ -80,7 +85,10 @@ func main() {
 		}
 	}
 
-	f := File{Label: *label, GoMaxProcs: procs, Benchmarks: map[string]Entry{}}
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	f := File{Label: *label, GoVersion: runtime.Version(), GoMaxProcs: procs, Benchmarks: map[string]Entry{}}
 	for name, m := range cur {
 		m := m
 		e := Entry{Cur: &m}

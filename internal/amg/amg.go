@@ -15,6 +15,7 @@ import (
 	"mis2go/internal/coarsen"
 	"mis2go/internal/graph"
 	"mis2go/internal/gs"
+	"mis2go/internal/hash"
 	"mis2go/internal/par"
 	"mis2go/internal/sparse"
 )
@@ -122,6 +123,21 @@ type Level struct {
 	x, b, r, d []float64
 }
 
+// levelPlan holds the cached symbolic state of one level's setup: the
+// tentative prolongator (whose values depend only on aggregate sizes,
+// i.e. on the pattern), the SpGEMM plans for the smoothed prolongator,
+// its transpose, and the Galerkin product, and — for the cluster-SGS
+// smoother — the level's cluster aggregation. Everything here is a pure
+// function of the fine matrix's sparsity pattern, so BuildNumeric and
+// Refresh replay it for any same-pattern values.
+type levelPlan struct {
+	p0     *sparse.Matrix
+	smooth *sparse.SmoothPlan
+	trans  *sparse.TransposePlan
+	rap    *sparse.RAPPlan
+	sgsAgg *coarsen.Aggregation
+}
+
 // Hierarchy is a built SA-AMG preconditioner. It implements
 // krylov.Preconditioner via Precondition (one V-cycle, zero initial
 // guess). Not safe for concurrent use.
@@ -130,6 +146,19 @@ type Hierarchy struct {
 	coarse *sparse.Dense
 	opt    Options
 	rt     *par.Runtime
+	// plans holds one cached symbolic plan per level (the coarsest
+	// level's plan carries no SpGEMM state).
+	plans []*levelPlan
+	// fing fingerprints the fine-level sparsity pattern the symbolic
+	// phase was built for; BuildNumeric and Refresh reject mismatches.
+	fing uint64
+	// valid is true when the numeric phase has completed successfully:
+	// a numeric error (zero diagonal on some level, degenerate spectral
+	// radius) aborts mid-replay and leaves the levels half-refreshed, so
+	// Precondition and Solve refuse to run until a later BuildNumeric or
+	// Refresh succeeds. Pre-mutation rejections (pattern mismatch,
+	// non-finite values) leave validity untouched.
+	valid bool
 	// solveR is the fine-level residual scratch of Solve, preallocated
 	// so stationary iterations allocate nothing.
 	solveR []float64
@@ -151,8 +180,32 @@ func addInto(rt *par.Runtime, x, d []float64) {
 	})
 }
 
-// Build constructs the hierarchy for SPD matrix a.
+// Build constructs the hierarchy for SPD matrix a. It is the composition
+// of the symbolic and numeric phases: BuildSymbolic derives everything
+// that depends only on the sparsity pattern (graphs, MIS-2 aggregation,
+// the tentative prolongator, cached SpGEMM plans, level storage) and
+// BuildNumeric fills in everything value-dependent (diagonals, spectral
+// radii, plan replays, the coarse factorization). The split produces
+// hierarchies bitwise identical to the seed's fused construction.
 func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
+	h, err := BuildSymbolic(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.BuildNumeric(a); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// BuildSymbolic runs the pattern-dependent half of setup for SPD matrix
+// a: level graphs, aggregation, the tentative prolongator P0 (whose
+// values are a function of aggregate sizes, i.e. of the pattern alone),
+// the SpGEMM plans for prolongator smoothing / transposition / the
+// Galerkin product, smoother cluster aggregations, and all level
+// storage. The returned hierarchy is not usable until BuildNumeric fills
+// in the values; a's values are read only by the initial Validate.
+func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 	opt = opt.withDefaults()
 	if a.Rows != a.Cols {
 		return nil, errors.New("amg: matrix must be square")
@@ -161,40 +214,26 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 		return nil, fmt.Errorf("amg: invalid matrix: %w", err)
 	}
 	rt := par.New(opt.Threads)
-	h := &Hierarchy{opt: opt, rt: rt}
+	h := &Hierarchy{
+		opt: opt, rt: rt,
+		fing: hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col),
+	}
 
 	cur := a
 	for level := 0; ; level++ {
 		l := &Level{A: cur}
+		lp := &levelPlan{}
 		l.dinv = make([]float64, cur.Rows)
-		cur.DiagonalInto(rt, l.dinv)
-		for i, d := range l.dinv {
-			if d == 0 {
-				return nil, fmt.Errorf("amg: zero diagonal at row %d of level %d", i, level)
-			}
-			l.dinv[i] = 1 / d
-		}
 		l.x = make([]float64, cur.Rows)
 		l.b = make([]float64, cur.Rows)
 		l.r = make([]float64, cur.Rows)
 		l.d = make([]float64, cur.Rows)
-		l.rho = estimateSpectralRadius(rt, cur, l.dinv, 15)
-		switch opt.Smoother {
-		case SmootherPointSGS:
-			op, err := gs.NewPoint(cur, opt.Threads)
-			if err != nil {
-				return nil, fmt.Errorf("amg: level %d point SGS setup: %w", level, err)
-			}
-			l.gsOp = op
-		case SmootherClusterSGS:
+		if opt.Smoother == SmootherClusterSGS {
 			agg := coarsen.MIS2Aggregation(cur.GraphWith(rt), coarsen.Options{Threads: opt.Threads})
-			op, err := gs.NewCluster(cur, agg, opt.Threads)
-			if err != nil {
-				return nil, fmt.Errorf("amg: level %d cluster SGS setup: %w", level, err)
-			}
-			l.gsOp = op
+			lp.sgsAgg = &agg
 		}
 		h.Levels = append(h.Levels, l)
+		h.plans = append(h.plans, lp)
 
 		if cur.Rows <= opt.MinCoarseSize || level+1 >= opt.MaxLevels {
 			break
@@ -212,51 +251,185 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 
 		p := coarsen.Prolongator(agg)
 		if !opt.UnsmoothedProlongator {
-			var err error
-			p, err = smoothProlongator(rt, cur, l.dinv, l.rho, p)
+			sp, err := sparse.PlanSmoothProlongator(rt, cur, p)
 			if err != nil {
 				return nil, fmt.Errorf("amg: level %d prolongator smoothing: %w", level, err)
 			}
+			lp.p0, lp.smooth = p, sp
+			p = sp.NewMatrix()
 		}
-		r := p.TransposeWith(rt)
-		ac, err := sparse.RAP(rt, r, cur, p)
+		lp.trans = sparse.PlanTranspose(rt, p)
+		r := lp.trans.NewMatrix()
+		rp, err := sparse.PlanRAP(rt, r, cur, p)
 		if err != nil {
 			return nil, fmt.Errorf("amg: level %d Galerkin product: %w", level, err)
 		}
+		lp.rap = rp
 		l.P, l.R = p, r
-		cur = ac
+		cur = rp.NewMatrix()
 	}
 
-	// Factor the coarsest level densely.
+	// Preallocate the dense coarse factorization (pattern-sized storage;
+	// the sane-order bound catches misconfigured coarse sizes here,
+	// before any numeric work).
 	last := h.Levels[len(h.Levels)-1]
-	dense, err := last.A.ToDense()
+	dense, err := sparse.NewDense(last.A.Rows)
 	if err != nil {
-		return nil, err
-	}
-	if err := dense.Factorize(); err != nil {
-		return nil, fmt.Errorf("amg: coarse factorization: %w", err)
+		return nil, fmt.Errorf("amg: coarse level: %w", err)
 	}
 	h.coarse = dense
 	return h, nil
 }
 
-// smoothProlongator computes P = (I - omega D^{-1} A) P0 with
-// omega = (4/3) / rho(D^{-1} A), rho estimated by power iteration. The
-// row scaling, SpGEMM, and sparse add run as one blocked Gustavson pass
-// (sparse.SmoothProlongator) with no intermediate matrices.
-func smoothProlongator(rt *par.Runtime, a *sparse.Matrix, dinv []float64, rho float64, p0 *sparse.Matrix) (*sparse.Matrix, error) {
-	if rho <= 0 {
-		return p0, nil
+// BuildNumeric runs the values-only half of setup: level diagonals,
+// spectral-radius estimates, smoother operators, the plan replays for
+// the smoothed prolongator / restriction / Galerkin product chain, and
+// the dense coarse factorization. a must carry the exact sparsity
+// pattern BuildSymbolic saw (checked via fingerprint); its values may
+// differ. Calling BuildNumeric again — or Refresh, its alias with
+// re-setup semantics — replays the numeric phase in place.
+func (h *Hierarchy) BuildNumeric(a *sparse.Matrix) error {
+	if err := h.checkSamePattern(a); err != nil {
+		return err
 	}
-	omega := (4.0 / 3.0) / rho
-	return sparse.SmoothProlongator(rt, a, p0, dinv, omega)
+	return h.numeric(a)
 }
 
-// estimateSpectralRadius runs a deterministic power iteration on D^{-1}A.
-func estimateSpectralRadius(rt *par.Runtime, a *sparse.Matrix, dinv []float64, iters int) float64 {
+// Refresh re-runs the numeric setup phase for a matrix with the same
+// sparsity pattern as the one the hierarchy was built for (a time step,
+// Newton iteration, or parameter sweep with changing values): cached
+// SpGEMM plans are replayed, level matrices and the coarse factorization
+// are refilled in place, and the MIS-2 aggregation and all pattern work
+// are reused. The pattern is checked via fingerprint and a mismatch is
+// a clean error — Refresh never silently rebuilds. The refreshed
+// hierarchy is bitwise identical to a fresh Build of the same matrix.
+// With the default Jacobi (or Chebyshev) smoother a Refresh performs
+// zero steady-state heap allocations; the Gauss-Seidel smoothers
+// rebuild their color-set operators and allocate during that rebuild.
+//
+// Pre-mutation rejections (pattern mismatch, non-finite values) leave
+// the hierarchy's previous numeric state intact and usable. An error
+// during the numeric replay itself (a zero diagonal surfacing on some
+// level, a degenerate spectral radius) leaves the levels half-refreshed:
+// the hierarchy is invalidated and Precondition/Solve panic until a
+// subsequent Refresh or BuildNumeric succeeds.
+func (h *Hierarchy) Refresh(a *sparse.Matrix) error {
+	if err := h.checkSamePattern(a); err != nil {
+		return err
+	}
+	return h.numeric(a)
+}
+
+// checkSamePattern verifies that a matches the symbolic phase's fine
+// matrix in shape, pattern (fingerprint), and value finiteness.
+func (h *Hierarchy) checkSamePattern(a *sparse.Matrix) error {
+	fine := h.Levels[0].A
+	if a.Rows != fine.Rows || a.Cols != fine.Cols {
+		return fmt.Errorf("amg: refresh matrix is %dx%d, hierarchy was built for %dx%d", a.Rows, a.Cols, fine.Rows, fine.Cols)
+	}
+	if len(a.Col) != len(fine.Col) || hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col) != h.fing {
+		return fmt.Errorf("amg: refresh matrix sparsity pattern differs from the symbolic setup (%d nnz vs %d); rebuild with BuildSymbolic for a new pattern", len(a.Col), len(fine.Col))
+	}
+	for p, v := range a.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("amg: refresh matrix has non-finite value at entry %d", p)
+		}
+	}
+	return nil
+}
+
+// numeric fills every value-dependent piece of the hierarchy from a,
+// replaying the cached plans level by level. Any error leaves the
+// hierarchy invalidated (mid-replay state is inconsistent) until a
+// subsequent numeric pass succeeds.
+func (h *Hierarchy) numeric(a *sparse.Matrix) error {
+	rt := h.rt
+	h.valid = false
+	h.Levels[0].A = a
+	for level, l := range h.Levels {
+		cur := l.A
+		cur.DiagonalInto(rt, l.dinv)
+		for i, d := range l.dinv {
+			if d == 0 {
+				return fmt.Errorf("amg: zero diagonal at row %d of level %d", i, level)
+			}
+			l.dinv[i] = 1 / d
+		}
+		// The power iteration borrows the level's solve scratch (fully
+		// overwritten before any solve reads it).
+		l.rho = estimateSpectralRadius(rt, cur, l.dinv, 15, l.x, l.r)
+		lp := h.plans[level]
+		switch h.opt.Smoother {
+		case SmootherPointSGS:
+			op, err := gs.NewPoint(cur, h.opt.Threads)
+			if err != nil {
+				return fmt.Errorf("amg: level %d point SGS setup: %w", level, err)
+			}
+			l.gsOp = op
+		case SmootherClusterSGS:
+			op, err := gs.NewCluster(cur, *lp.sgsAgg, h.opt.Threads)
+			if err != nil {
+				return fmt.Errorf("amg: level %d cluster SGS setup: %w", level, err)
+			}
+			l.gsOp = op
+		}
+		if lp.rap == nil {
+			break // coarsest level
+		}
+		if lp.smooth != nil {
+			if l.rho <= 0 {
+				// The fused seed build falls back to the unsmoothed P0
+				// here, which would change the cached pattern; it can only
+				// occur for degenerate (all-cancelling) operators.
+				return fmt.Errorf("amg: level %d: non-positive spectral radius estimate; cannot replay the smoothed-prolongator pattern", level)
+			}
+			omega := (4.0 / 3.0) / l.rho
+			// Replay (not Numeric): the fine pattern was fingerprint-checked
+			// once in checkSamePattern and every other operand is
+			// hierarchy-owned, so the per-plan O(nnz) re-verification would
+			// only re-prove the same fact on every level.
+			if err := lp.smooth.Replay(rt, cur, lp.p0, l.dinv, omega, l.P); err != nil {
+				return fmt.Errorf("amg: level %d prolongator smoothing: %w", level, err)
+			}
+		}
+		if err := lp.trans.Replay(rt, l.P, l.R); err != nil {
+			return fmt.Errorf("amg: level %d restriction: %w", level, err)
+		}
+		if err := lp.rap.Replay(rt, l.R, cur, l.P, h.Levels[level+1].A); err != nil {
+			return fmt.Errorf("amg: level %d Galerkin product: %w", level, err)
+		}
+	}
+
+	// Refactor the coarsest level densely, in place.
+	last := h.Levels[len(h.Levels)-1]
+	if err := h.coarse.FillFrom(last.A); err != nil {
+		return fmt.Errorf("amg: coarse level: %w", err)
+	}
+	if err := h.coarse.Factorize(); err != nil {
+		return fmt.Errorf("amg: coarse factorization: %w", err)
+	}
+	h.valid = true
+	return nil
+}
+
+// checkValid panics when the hierarchy's numeric state is unusable —
+// either BuildNumeric never ran or the last numeric pass failed partway
+// through. Precondition cannot return an error (krylov.Preconditioner),
+// and solving with half-refreshed operators would silently corrupt
+// results, so misuse fails loudly instead.
+func (h *Hierarchy) checkValid() {
+	if !h.valid {
+		panic("amg: hierarchy has no valid numeric state (BuildNumeric never succeeded, or the last Refresh failed); run BuildNumeric/Refresh successfully before solving")
+	}
+}
+
+// estimateSpectralRadius runs a deterministic power iteration on D^{-1}A
+// using caller-provided scratch vectors x and y (length n, fully
+// overwritten), so repeated numeric setups allocate nothing.
+func estimateSpectralRadius(rt *par.Runtime, a *sparse.Matrix, dinv []float64, iters int, x, y []float64) float64 {
 	n := a.Rows
-	x := make([]float64, n)
-	y := make([]float64, n)
+	x = x[:n]
+	y = y[:n]
 	for i := range x {
 		// Deterministic pseudo-random start vector.
 		x[i] = 0.5 + float64((i*2654435761)%1024)/2048.0
@@ -300,6 +473,7 @@ func (h *Hierarchy) OperatorComplexity() float64 {
 
 // Precondition applies one V-cycle with zero initial guess: z ≈ A^{-1} r.
 func (h *Hierarchy) Precondition(r, z []float64) {
+	h.checkValid()
 	for i := range z {
 		z[i] = 0
 	}
@@ -312,6 +486,7 @@ func (h *Hierarchy) Precondition(r, z []float64) {
 // tol*||b|| or maxIter cycles; mainly for tests and examples (use CG with
 // Precondition for production solves).
 func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float64) {
+	h.checkValid()
 	n := h.Levels[0].A.Rows
 	if cap(h.solveR) < n {
 		h.solveR = make([]float64, n)

@@ -112,7 +112,7 @@ func TestSpectralRadiusEstimateSane(t *testing.T) {
 	for i, d := range a.Diagonal() {
 		dinv[i] = 1 / d
 	}
-	rho := estimateSpectralRadius(par.New(0), a, dinv, 30)
+	rho := estimateSpectralRadius(par.New(0), a, dinv, 30, make([]float64, a.Rows), make([]float64, a.Rows))
 	if rho < 1.2 || rho > 2.2 {
 		t.Fatalf("rho estimate %f outside (1.2, 2.2)", rho)
 	}

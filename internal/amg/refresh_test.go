@@ -1,0 +1,271 @@
+// Tests for the symbolic/numeric setup split: BuildSymbolic+BuildNumeric
+// and Refresh must produce hierarchies bitwise identical to a fresh
+// Build on the same values, for every worker count, and Refresh must
+// reject pattern mismatches cleanly.
+package amg
+
+import (
+	"strings"
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/sparse"
+)
+
+var refreshWorkerCounts = []int{1, 2, 8}
+
+// refreshProblems returns the same-pattern test operators: a Laplace3D
+// stencil matrix and an irregular weighted FEM-like Laplacian.
+func refreshProblems() map[string]*sparse.Matrix {
+	return map[string]*sparse.Matrix{
+		"laplace3d":   gen.Laplacian(gen.Laplace3D(12, 12, 12), 0.05),
+		"weightedfem": gen.WeightedLaplacian(gen.RandomFEM(8, 8, 8, 14, 3), 0.1, 11),
+	}
+}
+
+// rescale returns a copy of a with deterministically perturbed values on
+// the identical pattern (an SPD-preserving global + per-entry scaling).
+func rescale(a *sparse.Matrix, seed int) *sparse.Matrix {
+	b := a.Clone()
+	s := 1 + 0.25*float64(seed%3)
+	for p := range b.Val {
+		b.Val[p] *= s
+	}
+	return b
+}
+
+// hierarchiesEqual compares two hierarchies bitwise: level operators,
+// prolongators, restrictions, inverse diagonals, spectral radii, and the
+// dense coarse factorization.
+func hierarchiesEqual(t *testing.T, label string, got, want *Hierarchy) {
+	t.Helper()
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("%s: %d levels, want %d", label, len(got.Levels), len(want.Levels))
+	}
+	eqMatrix := func(what string, g, w *sparse.Matrix) {
+		t.Helper()
+		if g == nil || w == nil {
+			if g != w {
+				t.Fatalf("%s: %s nil mismatch", label, what)
+			}
+			return
+		}
+		if g.Rows != w.Rows || g.Cols != w.Cols || len(g.Col) != len(w.Col) {
+			t.Fatalf("%s: %s shape/nnz mismatch", label, what)
+		}
+		for i := range w.RowPtr {
+			if g.RowPtr[i] != w.RowPtr[i] {
+				t.Fatalf("%s: %s RowPtr[%d] differs", label, what, i)
+			}
+		}
+		for p := range w.Col {
+			if g.Col[p] != w.Col[p] {
+				t.Fatalf("%s: %s Col[%d] differs", label, what, p)
+			}
+			if g.Val[p] != w.Val[p] {
+				t.Fatalf("%s: %s Val[%d] = %v, want %v (not bitwise identical)", label, what, p, g.Val[p], w.Val[p])
+			}
+		}
+	}
+	for k := range want.Levels {
+		gl, wl := got.Levels[k], want.Levels[k]
+		eqMatrix("A", gl.A, wl.A)
+		eqMatrix("P", gl.P, wl.P)
+		eqMatrix("R", gl.R, wl.R)
+		if gl.rho != wl.rho {
+			t.Fatalf("%s: level %d rho %v, want %v", label, k, gl.rho, wl.rho)
+		}
+		for i := range wl.dinv {
+			if gl.dinv[i] != wl.dinv[i] {
+				t.Fatalf("%s: level %d dinv[%d] differs", label, k, i)
+			}
+		}
+	}
+	if got.coarse.N != want.coarse.N {
+		t.Fatalf("%s: coarse order %d, want %d", label, got.coarse.N, want.coarse.N)
+	}
+	for i := range want.coarse.Data {
+		if got.coarse.Data[i] != want.coarse.Data[i] {
+			t.Fatalf("%s: coarse factor entry %d differs", label, i)
+		}
+	}
+}
+
+// preconditionOnce applies one V-cycle to a fixed residual, for
+// comparing smoother state (gsOp) that hierarchiesEqual cannot inspect
+// structurally.
+func preconditionOnce(h *Hierarchy) []float64 {
+	n := h.Levels[0].A.Rows
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	h.Precondition(r, z)
+	return z
+}
+
+func TestRefreshDeterministicAcrossWorkers(t *testing.T) {
+	for name, a := range refreshProblems() {
+		for _, w := range refreshWorkerCounts {
+			opt := Options{Threads: w, MinCoarseSize: 60}
+			// The split phases must reproduce the one-shot Build.
+			h, err := BuildSymbolic(a, opt)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, w, err)
+			}
+			if err := h.BuildNumeric(a); err != nil {
+				t.Fatalf("%s/%d: %v", name, w, err)
+			}
+			want, err := Build(a, opt)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, w, err)
+			}
+			hierarchiesEqual(t, name+"/split-vs-build", h, want)
+
+			// Refresh with perturbed values must equal a fresh Build on
+			// those values — including after several refreshes.
+			for seed := 1; seed <= 3; seed++ {
+				a2 := rescale(a, seed)
+				if err := h.Refresh(a2); err != nil {
+					t.Fatalf("%s/%d: refresh %d: %v", name, w, seed, err)
+				}
+				want2, err := Build(a2, opt)
+				if err != nil {
+					t.Fatalf("%s/%d: %v", name, w, err)
+				}
+				hierarchiesEqual(t, name+"/refresh-vs-build", h, want2)
+			}
+
+			// Refreshing back to the original values restores the original
+			// hierarchy exactly.
+			if err := h.Refresh(a); err != nil {
+				t.Fatalf("%s/%d: %v", name, w, err)
+			}
+			hierarchiesEqual(t, name+"/refresh-roundtrip", h, want)
+		}
+	}
+}
+
+func TestRefreshDeterministicSmootherVariants(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace3D(10, 10, 10), 0.05)
+	a2 := rescale(a, 1)
+	for name, opt := range map[string]Options{
+		"chebyshev":  {MinCoarseSize: 60, Smoother: SmootherChebyshev},
+		"pointsgs":   {MinCoarseSize: 60, Smoother: SmootherPointSGS, PreSweeps: 1, PostSweeps: 1},
+		"clustersgs": {MinCoarseSize: 60, Smoother: SmootherClusterSGS, PreSweeps: 1, PostSweeps: 1},
+		"unsmoothed": {MinCoarseSize: 60, UnsmoothedProlongator: true},
+	} {
+		h, err := Build(a, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := h.Refresh(a2); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := Build(a2, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hierarchiesEqual(t, name, h, want)
+		// One V-cycle application must match bitwise too (this covers the
+		// rebuilt Gauss-Seidel operators).
+		zg, zw := preconditionOnce(h), preconditionOnce(want)
+		for i := range zw {
+			if zg[i] != zw[i] {
+				t.Fatalf("%s: V-cycle output %d differs after refresh", name, i)
+			}
+		}
+	}
+}
+
+func TestRefreshRejectsPatternMismatch(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace3D(8, 8, 8), 0.05)
+	h, err := Build(a, Options{MinCoarseSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different size.
+	other := gen.Laplacian(gen.Laplace3D(8, 8, 9), 0.05)
+	if err := h.Refresh(other); err == nil {
+		t.Fatal("refresh with different dimensions not rejected")
+	}
+	// Same size, different pattern (an extra stencil connection).
+	same := gen.Laplacian(gen.RandomFEM(8, 8, 8, 10, 5), 0.05)
+	if same.Rows == a.Rows {
+		if err := h.Refresh(same); err == nil {
+			t.Fatal("refresh with different pattern not rejected")
+		} else if !strings.Contains(err.Error(), "pattern") {
+			t.Fatalf("pattern mismatch error not descriptive: %v", err)
+		}
+	}
+	// Non-finite values.
+	bad := a.Clone()
+	bad.Val[0] = bad.Val[0] / 0.0 // +Inf
+	if err := h.Refresh(bad); err == nil {
+		t.Fatal("refresh with non-finite values not rejected")
+	}
+	// The hierarchy is still usable after rejected refreshes.
+	if err := h.Refresh(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshRejectsZeroDiagonal(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace3D(8, 8, 8), 0.05)
+	h, err := Build(a, Options{MinCoarseSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	for p := bad.RowPtr[3]; p < bad.RowPtr[4]; p++ {
+		if int(bad.Col[p]) == 3 {
+			bad.Val[p] = 0
+		}
+	}
+	if err := h.Refresh(bad); err == nil {
+		t.Fatal("refresh with zero diagonal not rejected")
+	} else if !strings.Contains(err.Error(), "zero diagonal") {
+		t.Fatalf("zero-diagonal error not descriptive: %v", err)
+	}
+	// The failed replay left the levels half-refreshed: solving must
+	// fail loudly instead of using the inconsistent operators.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Precondition after failed numeric refresh did not panic")
+			}
+		}()
+		preconditionOnce(h)
+	}()
+	// A subsequent successful refresh restores the hierarchy.
+	if err := h.Refresh(a); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(a, Options{MinCoarseSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hierarchiesEqual(t, "recovered-after-failed-refresh", h, want)
+	preconditionOnce(h)
+}
+
+func TestBuildSymbolicLeavesValuesToNumeric(t *testing.T) {
+	// BuildNumeric on a hierarchy built symbolically from one value set
+	// but filled from another must match Build of the second set: the
+	// symbolic phase must not capture any value-dependent state.
+	a := gen.Laplacian(gen.Laplace3D(10, 10, 10), 0.05)
+	a2 := rescale(a, 2)
+	h, err := BuildSymbolic(a, Options{MinCoarseSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BuildNumeric(a2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(a2, Options{MinCoarseSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hierarchiesEqual(t, "symbolic-then-other-values", h, want)
+}

@@ -77,3 +77,39 @@ func (k Kind) Priority(iter uint64, v uint64) uint64 {
 
 // Rehashes reports whether the kind assigns new priorities each iteration.
 func (k Kind) Rehashes() bool { return k != Fixed }
+
+// fpSalt seeds the fingerprint chain (the 64-bit golden ratio, the
+// usual sequence-breaking constant); fpMul is the odd xorshift*
+// multiplier, reused as an FNV-style diffusion step.
+const (
+	fpSalt = 0x9E3779B97F4A7C15
+	fpMul  = 0x2545F4914F6CDD1D
+)
+
+// fpMix folds one value into a running fingerprint with an xor-multiply
+// step (FNV-1a with a 64-bit odd multiplier): two operations per element
+// keep fingerprinting a small fraction of a numeric re-setup, while the
+// multiply chain makes the result position-sensitive. The final
+// avalanche in PatternFingerprint diffuses the remaining low-bit bias.
+func fpMix(h, v uint64) uint64 {
+	return (h ^ v) * fpMul
+}
+
+// PatternFingerprint computes a deterministic 64-bit fingerprint of a CSR
+// sparsity pattern: the dimensions, row boundaries, and column indices,
+// independent of the stored values. Two matrices share a fingerprint
+// exactly when they have the same pattern (up to hash collision), which
+// is the "same pattern, new values" precondition of the symbolic/numeric
+// re-setup split: plan replays and Hierarchy.Refresh check it before
+// reusing cached SpGEMM patterns. Allocation-free and O(rows + nnz).
+func PatternFingerprint(rows, cols int, rowPtr []int, col []int32) uint64 {
+	h := fpMix(fpSalt, uint64(rows))
+	h = fpMix(h, uint64(cols))
+	for _, p := range rowPtr {
+		h = fpMix(h, uint64(p))
+	}
+	for _, c := range col {
+		h = fpMix(h, uint64(uint32(c)))
+	}
+	return Xorshift64Star(h)
+}

@@ -85,6 +85,45 @@ func TestPriorityBitBalance(t *testing.T) {
 	}
 }
 
+func TestPatternFingerprintSensitivity(t *testing.T) {
+	ptr := []int{0, 2, 4, 5}
+	col := []int32{0, 1, 1, 2, 2}
+	base := PatternFingerprint(3, 3, ptr, col)
+	if base != PatternFingerprint(3, 3, ptr, col) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Copies with identical contents fingerprint identically.
+	if got := PatternFingerprint(3, 3, append([]int(nil), ptr...), append([]int32(nil), col...)); got != base {
+		t.Fatal("fingerprint depends on slice identity, not contents")
+	}
+	// Any single structural change must flip the fingerprint.
+	perturbed := []uint64{
+		PatternFingerprint(4, 3, ptr, col),
+		PatternFingerprint(3, 4, ptr, col),
+		PatternFingerprint(3, 3, []int{0, 1, 4, 5}, col),
+		PatternFingerprint(3, 3, ptr, []int32{0, 2, 1, 2, 2}),
+		PatternFingerprint(3, 3, ptr, col[:4]),
+	}
+	for i, fp := range perturbed {
+		if fp == base {
+			t.Fatalf("perturbation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestPatternFingerprintValueBlind(t *testing.T) {
+	// The fingerprint reads only the pattern inputs; calling it twice on
+	// the same pattern must agree regardless of what values a caller
+	// stores alongside. (The API takes no values — this pins the empty
+	// and single-row edge cases.)
+	if PatternFingerprint(0, 0, []int{0}, nil) == PatternFingerprint(1, 1, []int{0, 1}, []int32{0}) {
+		t.Fatal("trivial patterns collide")
+	}
+	if PatternFingerprint(0, 0, []int{0}, nil) != PatternFingerprint(0, 0, []int{0}, []int32{}) {
+		t.Fatal("nil vs empty column slice must fingerprint identically")
+	}
+}
+
 func TestPriorityDistinctAcrossVertices(t *testing.T) {
 	seen := make(map[uint64]uint64)
 	for v := uint64(0); v < 100000; v++ {

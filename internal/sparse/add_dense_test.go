@@ -1,0 +1,158 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+
+	"mis2go/internal/par"
+)
+
+// unsortedRowMatrix builds a small matrix whose middle row is unsorted
+// and whose last row holds a duplicate column — both violations of the
+// Validate row invariant that Add must repair on output.
+func unsortedRowMatrix() *Matrix {
+	return &Matrix{
+		Rows: 3, Cols: 4,
+		RowPtr: []int{0, 2, 5, 7},
+		Col:    []int32{0, 2, 3, 1, 0, 2, 2},
+		Val:    []float64{1, 2, 3, 4, 5, 6, 7},
+	}
+}
+
+func TestAddValidateRoundTrip(t *testing.T) {
+	rt := par.New(1)
+	_ = rt
+	// Sorted inputs: merge fast path.
+	a := randomMatrix(60, 40, 0.1, 41)
+	b := randomMatrix(60, 40, 0.12, 42)
+	c, err := Add(a, b, -2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Add of sorted inputs fails Validate: %v", err)
+	}
+	da, db, dc := toDenseSlice(a), toDenseSlice(b), toDenseSlice(c)
+	for i := range dc {
+		if want := da[i] + -2.5*db[i]; dc[i] != want {
+			t.Fatalf("Add entry %d = %v, want %v", i, dc[i], want)
+		}
+	}
+	// Scale preserves validity (round trip through Validate).
+	c.Scale(0.5)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Scale broke Validate: %v", err)
+	}
+}
+
+func TestAddSortsUnsortedInputRows(t *testing.T) {
+	u := unsortedRowMatrix()
+	s := &Matrix{
+		Rows: 3, Cols: 4,
+		RowPtr: []int{0, 1, 3, 4},
+		Col:    []int32{1, 0, 3, 0},
+		Val:    []float64{10, 20, 30, 40},
+	}
+	// denseAccum sums duplicate entries (the CSR convention Add follows),
+	// unlike toDenseSlice which overwrites.
+	denseAccum := func(m *Matrix) []float64 {
+		d := make([]float64, m.Rows*m.Cols)
+		for i := 0; i < m.Rows; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				d[i*m.Cols+int(m.Col[p])] += m.Val[p]
+			}
+		}
+		return d
+	}
+	for _, tc := range []struct {
+		name string
+		x, y *Matrix
+	}{
+		{"unsorted+sorted", u, s},
+		{"sorted+unsorted", s, u},
+		{"unsorted+unsorted", u, u},
+	} {
+		c, err := Add(tc.x, tc.y, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: Add output fails Validate: %v", tc.name, err)
+		}
+		dx, dy, dc := denseAccum(tc.x), denseAccum(tc.y), denseAccum(c)
+		for i := range dc {
+			if want := dx[i] + 2*dy[i]; dc[i] != want {
+				t.Fatalf("%s: entry %d = %v, want %v", tc.name, i, dc[i], want)
+			}
+		}
+	}
+}
+
+func TestAddDimensionMismatch(t *testing.T) {
+	a := randomMatrix(5, 5, 0.5, 1)
+	b := randomMatrix(5, 6, 0.5, 1)
+	if _, err := Add(a, b, 1); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+}
+
+func TestDenseOrderBound(t *testing.T) {
+	if _, err := NewDense(MaxDenseN + 1); err == nil {
+		t.Fatal("NewDense above MaxDenseN not rejected")
+	} else if !strings.Contains(err.Error(), "MaxDenseN") {
+		t.Fatalf("NewDense error not descriptive: %v", err)
+	}
+	if _, err := NewDense(-1); err == nil {
+		t.Fatal("negative order not rejected")
+	}
+	// ToDense of an oversized square pattern must error instead of
+	// attempting the n^2 allocation. An empty CSR keeps the test cheap.
+	n := MaxDenseN + 1
+	a := &Matrix{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	if _, err := a.ToDense(); err == nil {
+		t.Fatal("oversized ToDense not rejected")
+	}
+	// A hand-constructed oversized Dense must be rejected by Factorize
+	// before any pivot work.
+	d := &Dense{N: n}
+	if err := d.Factorize(); err == nil {
+		t.Fatal("oversized Factorize not rejected")
+	}
+}
+
+func TestDenseFillFromReuse(t *testing.T) {
+	// a + 25*I is diagonally dominant, so the factorization exists.
+	a, err := Add(randomMatrix(20, 20, 0.3, 50), Identity(20), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDense(a.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Factorize(); err != nil {
+		t.Fatal(err)
+	}
+	// Two fill+factorize rounds through the same storage must reproduce
+	// the one-shot factorization bitwise.
+	for round := 0; round < 2; round++ {
+		if err := d.FillFrom(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Factorize(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if d.Data[i] != want.Data[i] {
+				t.Fatalf("round %d: factor entry %d = %v, want %v", round, i, d.Data[i], want.Data[i])
+			}
+		}
+	}
+	if err := d.FillFrom(randomMatrix(21, 21, 0.3, 51)); err == nil {
+		t.Fatal("FillFrom with mismatched order not rejected")
+	}
+}

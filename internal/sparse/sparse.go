@@ -265,24 +265,28 @@ func (a *Matrix) Diagonal() []float64 {
 }
 
 // DiagonalInto fills d with the diagonal entries of A (zero where
-// absent) in parallel over rows.
+// absent) in parallel over rows. The serial fast path bypasses the
+// closure API so re-setup loops stay allocation-free.
 func (a *Matrix) DiagonalInto(rt *par.Runtime, d []float64) {
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d[i] = 0
-			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-				if int(a.Col[p]) == i {
-					d[i] = a.Val[p]
-					break
-				}
+	if rt.Serial(a.Rows) {
+		a.diagonalRange(d, 0, a.Rows)
+		return
+	}
+	rt.For(a.Rows, func(lo, hi int) {
+		a.diagonalRange(d, lo, hi)
+	})
+}
+
+func (a *Matrix) diagonalRange(d []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d[i] = 0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.Col[p]) == i {
+				d[i] = a.Val[p]
+				break
 			}
 		}
 	}
-	if rt.Serial(a.Rows) {
-		body(0, a.Rows)
-		return
-	}
-	rt.For(a.Rows, body)
 }
 
 // Graph returns the adjacency structure of A with the diagonal removed,
@@ -304,7 +308,7 @@ func (a *Matrix) GraphWith(rt *par.Runtime) *graph.CSR {
 	if !a.rowsSorted(rt) {
 		return a.graphFromEdges(n)
 	}
-	tPtr, tCol, _ := a.transposeBlocked(rt, n, false)
+	tPtr, tCol, _ := a.transposeBlocked(rt, n, false, nil)
 
 	g := &graph.CSR{N: n}
 	g.RowPtr = make([]int, n+1)
@@ -406,7 +410,7 @@ func (a *Matrix) Transpose() *Matrix { return a.TransposeWith(par.Default()) }
 // TransposeWith is Transpose with an explicit runtime.
 func (a *Matrix) TransposeWith(rt *par.Runtime) *Matrix {
 	t := &Matrix{Rows: a.Cols, Cols: a.Rows}
-	ptr, col, val := a.transposeBlocked(rt, a.Cols, true)
+	ptr, col, val := a.transposeBlocked(rt, a.Cols, true, nil)
 	// The arena-backed scratch becomes the result, so copy into exact
 	// garbage-collected storage (the matrix outlives the arena borrow).
 	t.RowPtr = make([]int, a.Cols+1)
@@ -436,7 +440,10 @@ func arenaRelease(ptr []int, col []int32, val []float64) {
 // after all blocks b' < b, preserving the serial counting-sort order).
 // The returned buffers belong to the caller arena pool; callers must
 // par.Put them (or copy out) when done. val is nil when withVals is false.
-func (a *Matrix) transposeBlocked(rt *par.Runtime, ncols int, withVals bool) (ptr []int, col []int32, val []float64) {
+// When perm is non-nil (length NNZ) the scatter also records the
+// destination of every input entry — perm[p] is the output position of
+// entry p — which is the values-only replay schedule TransposePlan caches.
+func (a *Matrix) transposeBlocked(rt *par.Runtime, ncols int, withVals bool, perm []int) (ptr []int, col []int32, val []float64) {
 	ar := par.AcquireArena()
 	ptr = par.Get[int](ar, ncols+1)
 	col = par.Get[int32](ar, len(a.Col))
@@ -489,6 +496,9 @@ func (a *Matrix) transposeBlocked(rt *par.Runtime, ncols int, withVals bool) (pt
 				col[fill[j]] = int32(i)
 				if withVals {
 					val[fill[j]] = a.Val[p]
+				}
+				if perm != nil {
+					perm[p] = fill[j]
 				}
 				fill[j]++
 			}
@@ -546,31 +556,7 @@ func Multiply(rt *par.Runtime, a, b *Matrix) (*Matrix, error) {
 	counts := par.Get[int](car, a.Rows)
 
 	// Symbolic pass: count nnz per output row.
-	par.ForWith(rt, a.Rows,
-		func(ar *par.Arena) []int32 {
-			mark := par.Get[int32](ar, b.Cols)
-			for i := range mark {
-				mark[i] = -1
-			}
-			return mark
-		},
-		func(lo, hi int, mark []int32) {
-			for i := lo; i < hi; i++ {
-				cnt := 0
-				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-					k := a.Col[p]
-					for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
-						j := b.Col[q]
-						if mark[j] != int32(i) {
-							mark[j] = int32(i)
-							cnt++
-						}
-					}
-				}
-				counts[i] = cnt
-			}
-		},
-		func(ar *par.Arena, mark []int32) { par.Put(ar, mark) })
+	countProductRows(rt, a, b, counts)
 	nnz := par.ScanExclusive(rt, counts, c.RowPtr)
 	par.Put(car, counts)
 	par.ReleaseArena(car)
@@ -623,6 +609,37 @@ func Multiply(rt *par.Runtime, a, b *Matrix) (*Matrix, error) {
 	return c, nil
 }
 
+// countProductRows fills counts[i] with the nnz of row i of A*B — the
+// mark phase of Gustavson's algorithm, shared by the one-shot Multiply
+// and the cached-plan symbolic pass (PlanMultiply).
+func countProductRows(rt *par.Runtime, a, b *Matrix, counts []int) {
+	par.ForWith(rt, a.Rows,
+		func(ar *par.Arena) []int32 {
+			mark := par.Get[int32](ar, b.Cols)
+			for i := range mark {
+				mark[i] = -1
+			}
+			return mark
+		},
+		func(lo, hi int, mark []int32) {
+			for i := lo; i < hi; i++ {
+				cnt := 0
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					k := a.Col[p]
+					for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+						j := b.Col[q]
+						if mark[j] != int32(i) {
+							mark[j] = int32(i)
+							cnt++
+						}
+					}
+				}
+				counts[i] = cnt
+			}
+		},
+		func(ar *par.Arena, mark []int32) { par.Put(ar, mark) })
+}
+
 // RAP computes the Galerkin coarse operator R*A*P.
 func RAP(rt *par.Runtime, r, a, p *Matrix) (*Matrix, error) {
 	ap, err := Multiply(rt, a, p)
@@ -663,36 +680,7 @@ func SmoothProlongator(rt *par.Runtime, a, p0 *Matrix, dinv []float64, omega flo
 
 	// Symbolic pass: per row, count the union of the product pattern and
 	// the P0 row pattern.
-	par.ForWith(rt, a.Rows,
-		func(ar *par.Arena) []int32 {
-			mark := par.Get[int32](ar, p0.Cols)
-			for i := range mark {
-				mark[i] = -1
-			}
-			return mark
-		},
-		func(lo, hi int, mark []int32) {
-			for i := lo; i < hi; i++ {
-				cnt := 0
-				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-					k := a.Col[p]
-					for q := p0.RowPtr[k]; q < p0.RowPtr[k+1]; q++ {
-						j := p0.Col[q]
-						if mark[j] != int32(i) {
-							mark[j] = int32(i)
-							cnt++
-						}
-					}
-				}
-				for q := p0.RowPtr[i]; q < p0.RowPtr[i+1]; q++ {
-					if mark[p0.Col[q]] != int32(i) {
-						cnt++
-					}
-				}
-				counts[i] = cnt
-			}
-		},
-		func(ar *par.Arena, mark []int32) { par.Put(ar, mark) })
+	countSmoothedRows(rt, a, p0, counts)
 	nnz := par.ScanExclusive(rt, counts, c.RowPtr)
 	par.Put(car, counts)
 	par.ReleaseArena(car)
@@ -771,6 +759,42 @@ func SmoothProlongator(rt *par.Runtime, a, p0 *Matrix, dinv []float64, omega flo
 	return c, nil
 }
 
+// countSmoothedRows fills counts[i] with the nnz of row i of
+// (I - omega*D^{-1}*A)*P0 — the union of the product pattern and the P0
+// row pattern — shared by SmoothProlongator and PlanSmoothProlongator.
+func countSmoothedRows(rt *par.Runtime, a, p0 *Matrix, counts []int) {
+	par.ForWith(rt, a.Rows,
+		func(ar *par.Arena) []int32 {
+			mark := par.Get[int32](ar, p0.Cols)
+			for i := range mark {
+				mark[i] = -1
+			}
+			return mark
+		},
+		func(lo, hi int, mark []int32) {
+			for i := lo; i < hi; i++ {
+				cnt := 0
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					k := a.Col[p]
+					for q := p0.RowPtr[k]; q < p0.RowPtr[k+1]; q++ {
+						j := p0.Col[q]
+						if mark[j] != int32(i) {
+							mark[j] = int32(i)
+							cnt++
+						}
+					}
+				}
+				for q := p0.RowPtr[i]; q < p0.RowPtr[i+1]; q++ {
+					if mark[p0.Col[q]] != int32(i) {
+						cnt++
+					}
+				}
+				counts[i] = cnt
+			}
+		},
+		func(ar *par.Arena, mark []int32) { par.Put(ar, mark) })
+}
+
 // Scale multiplies all values by s in place.
 func (a *Matrix) Scale(s float64) {
 	for i := range a.Val {
@@ -801,7 +825,13 @@ func Identity(n int) *Matrix {
 	return m
 }
 
-// Add computes A + s*B for matrices with identical dimensions.
+// Add computes A + s*B for matrices with identical dimensions. Every
+// output row is sorted and duplicate-free, so the result round-trips
+// Validate whenever the input values are finite: rows that are already
+// strictly sorted (the Validate invariant) take a linear two-pointer
+// merge; rows violating it — unsorted or with repeated columns — are
+// gathered, stably sorted, and duplicate-combined instead of silently
+// producing an out-of-order result as the seed implementation did.
 func Add(a, b *Matrix, s float64) (*Matrix, error) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		return nil, fmt.Errorf("sparse: add dimension mismatch")
@@ -810,9 +840,22 @@ func Add(a, b *Matrix, s float64) (*Matrix, error) {
 	c.RowPtr = make([]int, a.Rows+1)
 	colBuf := make([]int32, 0, len(a.Col)+len(b.Col))
 	valBuf := make([]float64, 0, len(a.Col)+len(b.Col))
+	var scratch []addEntry
 	for i := 0; i < a.Rows; i++ {
 		pa, pb := a.RowPtr[i], b.RowPtr[i]
 		ea, eb := a.RowPtr[i+1], b.RowPtr[i+1]
+		if !rowStrictlySorted(a.Col[pa:ea]) || !rowStrictlySorted(b.Col[pb:eb]) {
+			scratch = scratch[:0]
+			for p := pa; p < ea; p++ {
+				scratch = append(scratch, addEntry{a.Col[p], a.Val[p]})
+			}
+			for p := pb; p < eb; p++ {
+				scratch = append(scratch, addEntry{b.Col[p], s * b.Val[p]})
+			}
+			colBuf, valBuf = mergeUnsortedRow(scratch, colBuf, valBuf)
+			c.RowPtr[i+1] = len(colBuf)
+			continue
+		}
 		for pa < ea || pb < eb {
 			switch {
 			case pb >= eb || (pa < ea && a.Col[pa] < b.Col[pb]):
@@ -837,6 +880,47 @@ func Add(a, b *Matrix, s float64) (*Matrix, error) {
 	return c, nil
 }
 
+// addEntry is one (column, value) contribution of Add's slow path.
+type addEntry struct {
+	col int32
+	val float64
+}
+
+// rowStrictlySorted reports whether cols is strictly ascending (sorted
+// and duplicate-free), the Validate row invariant.
+func rowStrictlySorted(cols []int32) bool {
+	for p := 1; p < len(cols); p++ {
+		if cols[p-1] >= cols[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeUnsortedRow stably insertion-sorts the row's contributions by
+// column (A entries keep preceding B entries on ties, matching the fast
+// path's A-then-B summation order) and appends the duplicate-combined
+// result to colBuf/valBuf.
+func mergeUnsortedRow(entries []addEntry, colBuf []int32, valBuf []float64) ([]int32, []float64) {
+	for i := 1; i < len(entries); i++ {
+		e := entries[i]
+		j := i - 1
+		for ; j >= 0 && entries[j].col > e.col; j-- {
+			entries[j+1] = entries[j]
+		}
+		entries[j+1] = e
+	}
+	for k := 0; k < len(entries); {
+		col, val := entries[k].col, entries[k].val
+		for k++; k < len(entries) && entries[k].col == col; k++ {
+			val += entries[k].val
+		}
+		colBuf = append(colBuf, col)
+		valBuf = append(valBuf, val)
+	}
+	return colBuf, valBuf
+}
+
 // Dense is a small dense matrix used for coarse-grid solves.
 type Dense struct {
 	N    int
@@ -844,24 +928,85 @@ type Dense struct {
 	piv  []int
 }
 
-// ToDense converts a square sparse matrix to dense form.
-func (a *Matrix) ToDense() (*Dense, error) {
-	if a.Rows != a.Cols {
-		return nil, errors.New("sparse: ToDense requires square matrix")
+// MaxDenseN bounds the order of dense coarse-grid systems. A dense
+// factorization stores N^2 float64s and runs O(N^3) flops, so a
+// misconfigured coarse size (e.g. an AMG MinCoarseSize in the hundreds
+// of thousands) would silently try to allocate gigabytes; above this
+// bound (128 MiB of storage) ToDense, NewDense, and Factorize return a
+// descriptive error instead.
+const MaxDenseN = 4096
+
+// checkDenseOrder rejects orders outside the sane coarse-grid range.
+func checkDenseOrder(n int) error {
+	if n < 0 {
+		return errors.New("sparse: negative dense order")
 	}
-	d := &Dense{N: a.Rows, Data: make([]float64, a.Rows*a.Rows)}
+	if n > MaxDenseN {
+		return fmt.Errorf("sparse: dense system of order %d exceeds the coarse-grid bound MaxDenseN=%d "+
+			"(%.1f GiB of storage); lower the coarse size (e.g. amg Options.MinCoarseSize) or keep coarsening",
+			n, MaxDenseN, float64(n)*float64(n)*8/(1<<30))
+	}
+	return nil
+}
+
+// NewDense allocates a zeroed n x n dense matrix, rejecting orders above
+// MaxDenseN. Symbolic setup phases use it to preallocate the coarse
+// factorization storage once; FillFrom refills it per numeric pass.
+func NewDense(n int) (*Dense, error) {
+	if err := checkDenseOrder(n); err != nil {
+		return nil, err
+	}
+	return &Dense{N: n, Data: make([]float64, n*n)}, nil
+}
+
+// FillFrom overwrites d with the entries of the square sparse matrix a
+// (zero where absent). Allocation-free: the repeated-setup path clears
+// and rescatters in place.
+func (d *Dense) FillFrom(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return errors.New("sparse: FillFrom requires square matrix")
+	}
+	if a.Rows != d.N {
+		return fmt.Errorf("sparse: FillFrom order %d into dense of order %d", a.Rows, d.N)
+	}
+	clear(d.Data)
 	for i := 0; i < a.Rows; i++ {
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			d.Data[i*a.Rows+int(a.Col[p])] = a.Val[p]
 		}
 	}
+	return nil
+}
+
+// ToDense converts a square sparse matrix to dense form. Matrices larger
+// than MaxDenseN are rejected (see NewDense).
+func (a *Matrix) ToDense() (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("sparse: ToDense requires square matrix")
+	}
+	d, err := NewDense(a.Rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.FillFrom(a); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
 // Factorize computes an LU factorization with partial pivoting in place.
+// The pivot array is reused across repeated factorizations of the same
+// Dense, so refresh loops allocate nothing.
 func (d *Dense) Factorize() error {
 	n := d.N
-	d.piv = make([]int, n)
+	if err := checkDenseOrder(n); err != nil {
+		return err
+	}
+	if cap(d.piv) >= n {
+		d.piv = d.piv[:n]
+	} else {
+		d.piv = make([]int, n)
+	}
 	for k := 0; k < n; k++ {
 		// Pivot selection.
 		pk, pmax := k, math.Abs(d.Data[k*n+k])

@@ -152,6 +152,17 @@ const (
 // NewAMG builds an SA-AMG hierarchy for the SPD matrix a.
 func NewAMG(a *Matrix, opt AMGOptions) (*AMG, error) { return amg.Build(a, opt) }
 
+// NewAMGSymbolic runs only the pattern-dependent (symbolic) half of AMG
+// setup: graph extraction, MIS-2 aggregation, the tentative prolongator,
+// and the cached SpGEMM plans for prolongator smoothing and the Galerkin
+// product. Finish with h.BuildNumeric(a) before solving, and re-setup
+// for a matrix with the same sparsity pattern and new values — a time
+// step, Newton iteration, or parameter sweep — with h.Refresh(a2),
+// which replays only the cheap numeric phase and errors cleanly if the
+// pattern differs. A refreshed hierarchy is bitwise identical to a
+// fresh NewAMG of the same matrix.
+func NewAMGSymbolic(a *Matrix, opt AMGOptions) (*AMG, error) { return amg.BuildSymbolic(a, opt) }
+
 // Preconditioner maps a residual to an approximate error (z = M^{-1} r).
 type Preconditioner = krylov.Preconditioner
 

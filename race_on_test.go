@@ -1,0 +1,8 @@
+//go:build race
+
+package mis2go
+
+// raceEnabled reports whether the race detector is active; allocation-
+// accounting tests skip under it because it randomly bypasses sync.Pool
+// (the arena recycling path), charging spurious allocations.
+const raceEnabled = true
