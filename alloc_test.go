@@ -167,6 +167,92 @@ func TestVCycleZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestVCycleSELLZeroAllocs extends the V-cycle gate to the SELL path:
+// every level forced to SELL-C-sigma, the apply still performs zero
+// steady-state heap allocations.
+func TestVCycleSELLZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	h, err := NewAMG(a, AMGOptions{Threads: 1, Format: FormatSELL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		h.Precondition(r, z)
+	})
+	if allocs != 0 {
+		t.Fatalf("SELL V-cycle apply: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSELLSmootherSweepZeroAllocs gates the SELL smoother kernels
+// directly: the fused Jacobi sweep and the SpMV the Chebyshev smoother
+// is built from allocate nothing in steady state.
+func TestSELLSmootherSweepZeroAllocs(t *testing.T) {
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	op, err := SELLOperator(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	b := make([]float64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	dinv := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+		x[i] = float64(i%7) - 3
+		dinv[i] = 0.25
+	}
+	rt := par.New(1)
+	allocs := testing.AllocsPerRun(10, func() {
+		op.JacobiSweep(rt, b, dinv, 2.0/3.0, x, y)
+		op.SpMV(rt, y, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("SELL smoother sweep: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestRefreshSELLZeroAllocs: the values-only numeric re-setup stays
+// zero-allocation with SELL-format levels (FillValues is a branch-free
+// gather through the cached entry schedule).
+func TestRefreshSELLZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector bypasses sync.Pool arena recycling, charging spurious allocations")
+	}
+	g := gen.Laplace3D(12, 12, 12)
+	a := gen.Laplacian(g, 1e-2)
+	h, err := NewAMG(a, AMGOptions{Threads: 1, Format: FormatSELL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := a.Clone()
+	for p := range a2.Val {
+		a2.Val[p] *= 1.25
+	}
+	for i := 0; i < 2; i++ {
+		if err := h.Refresh(a2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := h.Refresh(a2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SELL Hierarchy.Refresh: %v allocs/op, want 0", allocs)
+	}
+}
+
 func TestRefreshZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector bypasses sync.Pool arena recycling, charging spurious allocations")

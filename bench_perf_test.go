@@ -127,6 +127,31 @@ func BenchmarkSpMVHot(b *testing.B) {
 	}
 }
 
+// BenchmarkSpMVSELL measures the SELL-C-sigma SpMV on the same matrix as
+// BenchmarkSpMVHot (which stays on CSR): the column-compressed chunk
+// kernel with 8 independent accumulators against the row-major CSR
+// traversal. The ratio is recorded in BENCH_PR4.json as SELL_vs_CSR.
+func BenchmarkSpMVSELL(b *testing.B) {
+	g := gen.Laplace3D(40, 40, 40)
+	a := gen.Laplacian(g, 0.1)
+	s, err := sparse.NewSELL(a, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	rt := par.New(0)
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SpMV(rt, x, y)
+	}
+}
+
 // BenchmarkSpMM8 measures the batched multi-RHS product with 8
 // right-hand sides in the interleaved layout: one traversal of A serves
 // all 8 columns. Compare against BenchmarkSpMV8Separate (the same work

@@ -163,10 +163,27 @@ func parseRatio(def string, cur map[string]Metrics) (name string, num, den float
 	if !ok {
 		return "", 0, 0, fmt.Errorf("bad -ratio %q (want NAME=NUM/DEN)", def)
 	}
+	var missing []string
 	n, okN := cur[numName]
+	if !okN {
+		missing = append(missing, numName)
+	}
 	d, okD := cur[denName]
-	if !okN || !okD {
-		return "", 0, 0, fmt.Errorf("-ratio %s: benchmark %q or %q not in this run", name, numName, denName)
+	if !okD && denName != numName {
+		missing = append(missing, denName)
+	}
+	if len(missing) > 0 {
+		// Fail loudly rather than emit a zero or stale ratio: a renamed
+		// or dropped benchmark must break `make bench`, not silently
+		// corrupt the perf trajectory.
+		avail := make([]string, 0, len(cur))
+		for b := range cur {
+			avail = append(avail, b)
+		}
+		sort.Strings(avail)
+		return "", 0, 0, fmt.Errorf("-ratio %s: benchmark(s) %s missing from this run (have: %s); "+
+			"check the -bench pattern and the benchmark names in the -ratio definition",
+			name, strings.Join(missing, ", "), strings.Join(avail, ", "))
 	}
 	if d.NsPerOp == 0 {
 		return "", 0, 0, fmt.Errorf("-ratio %s: zero ns/op denominator", name)

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRatio(t *testing.T) {
+	cur := map[string]Metrics{
+		"SpMVHot":  {NsPerOp: 300},
+		"SpMVSELL": {NsPerOp: 200},
+	}
+	name, num, den, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "SELL_vs_CSR" || num != 300 || den != 200 {
+		t.Fatalf("got %q %g/%g", name, num, den)
+	}
+}
+
+// TestParseRatioMissingBenchmark: a ratio referencing a benchmark absent
+// from the run must fail with an error naming the missing benchmark and
+// the available ones — never emit a zero or stale ratio.
+func TestParseRatioMissingBenchmark(t *testing.T) {
+	cur := map[string]Metrics{"SpMVHot": {NsPerOp: 300}}
+	_, _, _, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur)
+	if err == nil {
+		t.Fatal("expected an error for a missing benchmark")
+	}
+	msg := err.Error()
+	for _, want := range []string{"SpMVSELL", "missing", "SpMVHot"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	// Both sides missing: both named.
+	_, _, _, err = parseRatio("R=A/B", cur)
+	if err == nil || !strings.Contains(err.Error(), "A, B") {
+		t.Fatalf("expected both missing benchmarks named, got %v", err)
+	}
+}
+
+func TestParseRatioMalformed(t *testing.T) {
+	cur := map[string]Metrics{"X": {NsPerOp: 1}}
+	for _, def := range []string{"noequals", "name=noslash"} {
+		if _, _, _, err := parseRatio(def, cur); err == nil {
+			t.Fatalf("accepted malformed ratio %q", def)
+		}
+	}
+}

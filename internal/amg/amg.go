@@ -71,6 +71,18 @@ type Options struct {
 	// lambda_max / lambda_min targeted by the polynomial (default 20, as
 	// in MueLu).
 	ChebyshevRatio float64
+	// Format selects the storage layout of each level's operator for the
+	// apply-side kernels (V-cycle residuals, Jacobi/Chebyshev sweeps).
+	// The default FormatAuto converts large regular levels (fine mesh
+	// Laplacians) to SELL-C-sigma and keeps small or irregular levels
+	// (coarse Galerkin operators) on CSR; the setup-side SpGEMM plans
+	// always stay on CSR, as does the coarsest level (solved densely, its
+	// operator is never applied). Formats are bit-compatible: results
+	// never depend on the choice.
+	Format sparse.Format
+	// SellSigma is the SELL-C-sigma sort scope (0 = the sparse package
+	// default); only consulted when a level converts to SELL.
+	SellSigma int
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
 }
@@ -113,6 +125,13 @@ type Level struct {
 	R    *sparse.Matrix // restriction (P^T)
 	Agg  coarsen.Aggregation
 	dinv []float64
+	// op is the apply-side view of A in the level's chosen format (A
+	// itself for CSR; a SELL conversion otherwise). The setup side (plan
+	// replays, graph extraction) always works on the CSR A.
+	op sparse.Operator
+	// sell is non-nil when op is a SELL conversion; the numeric phase
+	// refreshes its values through the cached entry schedule.
+	sell *sparse.SELL
 	// rho is the estimated spectral radius of D^{-1}A on this level,
 	// used by prolongator smoothing and the Chebyshev smoother.
 	rho float64
@@ -228,6 +247,7 @@ func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 		l.b = make([]float64, cur.Rows)
 		l.r = make([]float64, cur.Rows)
 		l.d = make([]float64, cur.Rows)
+		l.op = cur
 		if opt.Smoother == SmootherClusterSGS {
 			agg := coarsen.MIS2Aggregation(cur.GraphWith(rt), coarsen.Options{Threads: opt.Threads})
 			lp.sgsAgg = &agg
@@ -248,6 +268,21 @@ func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 			break // no coarsening progress; stop here
 		}
 		l.Agg = agg
+
+		// Choose the level's apply-side operator format — only now that
+		// the level is known not to be the coarsest (the coarsest level
+		// is solved densely, its op never applied, so converting it would
+		// be pure waste). The SELL conversion is pattern-only here
+		// (values land in BuildNumeric); its row sort and entry schedule
+		// are part of the symbolic state.
+		op, err := sparse.NewOperator(cur, opt.Format, opt.SellSigma)
+		if err != nil {
+			return nil, fmt.Errorf("amg: level %d operator format: %w", level, err)
+		}
+		l.op = op
+		if s, ok := op.(*sparse.SELL); ok {
+			l.sell = s
+		}
 
 		p := coarsen.Prolongator(agg)
 		if !opt.UnsmoothedProlongator {
@@ -348,6 +383,16 @@ func (h *Hierarchy) numeric(a *sparse.Matrix) error {
 	h.Levels[0].A = a
 	for level, l := range h.Levels {
 		cur := l.A
+		// Refresh the level's apply-side operator: SELL levels gather the
+		// new values through the cached entry schedule; CSR levels just
+		// re-point (the fine level's A was swapped above).
+		if l.sell != nil {
+			if err := l.sell.FillValues(cur); err != nil {
+				return fmt.Errorf("amg: level %d SELL refresh: %w", level, err)
+			}
+		} else {
+			l.op = cur
+		}
 		cur.DiagonalInto(rt, l.dinv)
 		for i, d := range l.dinv {
 			if d == 0 {
@@ -461,6 +506,14 @@ func estimateSpectralRadius(rt *par.Runtime, a *sparse.Matrix, dinv []float64, i
 // NumLevels returns the hierarchy depth.
 func (h *Hierarchy) NumLevels() int { return len(h.Levels) }
 
+// Format reports the storage format of the level's apply-side operator.
+func (l *Level) Format() sparse.Format {
+	if l.sell != nil {
+		return sparse.FormatSELL
+	}
+	return sparse.FormatCSR
+}
+
 // OperatorComplexity is the sum of nnz over all level operators divided by
 // nnz of the fine operator — the standard AMG grid quality metric.
 func (h *Hierarchy) OperatorComplexity() float64 {
@@ -527,9 +580,10 @@ func (h *Hierarchy) vcycle(level int) {
 		l.x[i] = 0
 	}
 	h.smooth(l, h.opt.PreSweeps, true)
-	// Fused residual + restriction: one traversal of A writes
-	// r = b - A x, which the R traversal consumes immediately.
-	l.A.SpMVResidual(h.rt, l.b, l.x, l.r)
+	// Fused residual + restriction: one traversal of A (in the level's
+	// chosen format) writes r = b - A x, which the R traversal consumes
+	// immediately.
+	l.op.SpMVResidual(h.rt, l.b, l.x, l.r)
 	next := h.Levels[level+1]
 	l.R.SpMV(h.rt, l.r, next.b)
 	h.vcycle(level + 1)
@@ -569,7 +623,7 @@ func (h *Hierarchy) chebyshev(l *Level) {
 	rhoOld := 1 / sigma
 
 	// r = b - A x ; d = Dinv r / theta
-	l.A.SpMV(rt, l.x, l.r)
+	l.op.SpMV(rt, l.x, l.r)
 	if rt.Serial(n) {
 		chebInitRange(l, theta, 0, n)
 	} else {
@@ -579,7 +633,7 @@ func (h *Hierarchy) chebyshev(l *Level) {
 		addInto(rt, l.x, l.d)
 		// Recompute the residual against the updated iterate (one extra
 		// SpMV per degree, robust against drift).
-		l.A.SpMV(rt, l.x, l.r)
+		l.op.SpMV(rt, l.x, l.r)
 		rhoNew := 1 / (2*sigma - rhoOld)
 		coef1 := rhoNew * rhoOld
 		coef2 := 2 * rhoNew / delta
@@ -608,7 +662,8 @@ func chebStepRange(l *Level, coef1, coef2 float64, lo, hi int) {
 }
 
 // jacobi runs damped Jacobi sweeps on l.A x = l.b, leaving the result in
-// l.x. Each sweep is a single fused traversal of A: the row product, the
+// l.x. Each sweep is a single fused traversal of the level operator (the
+// format-dispatched JacobiSweep kernel): the row product, the
 // damped-diagonal update, and the write of the new iterate happen per
 // row, ping-ponging between l.x and the l.d scratch instead of staging
 // the product in l.r (Jacobi needs the full old iterate, so the new one
@@ -632,11 +687,7 @@ func (h *Hierarchy) jacobi(l *Level, sweeps int, xZero bool) {
 				h.rt.For(n, func(lo, hi int) { jacobiZeroRange(l, omega, dst, lo, hi) })
 			}
 		} else {
-			if h.rt.Serial(n) {
-				jacobiFusedRange(l, omega, src, dst, 0, n)
-			} else {
-				h.rt.For(n, func(lo, hi int) { jacobiFusedRange(l, omega, src, dst, lo, hi) })
-			}
+			l.op.JacobiSweep(h.rt, l.b, l.dinv, omega, src, dst)
 		}
 		x, xn = xn, x
 	}
@@ -644,29 +695,6 @@ func (h *Hierarchy) jacobi(l *Level, sweeps int, xZero bool) {
 		// The final iterate landed in the scratch buffer; swap the level's
 		// slice headers so l.x names it (both are level-sized scratch).
 		l.x, l.d = x, xn
-	}
-}
-
-// jacobiFusedRange computes dst[i] = src[i] + omega*dinv[i]*(b[i] - (A src)[i])
-// for rows [lo, hi) in one traversal, with the same unrolled
-// dual-accumulator product kernel as SpMV.
-func jacobiFusedRange(l *Level, omega float64, src, dst []float64, lo, hi int) {
-	a := l.A
-	rp := a.RowPtr
-	for i := lo; i < hi; i++ {
-		start, end := rp[i], rp[i+1]
-		cols := a.Col[start:end]
-		vals := a.Val[start:end]
-		var s0, s1 float64
-		k := 0
-		for ; k+4 <= len(cols); k += 4 {
-			s0 += vals[k]*src[cols[k]] + vals[k+1]*src[cols[k+1]]
-			s1 += vals[k+2]*src[cols[k+2]] + vals[k+3]*src[cols[k+3]]
-		}
-		for ; k < len(cols); k++ {
-			s0 += vals[k] * src[cols[k]]
-		}
-		dst[i] = src[i] + omega*l.dinv[i]*(l.b[i]-(s0+s1))
 	}
 }
 

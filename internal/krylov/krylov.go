@@ -39,10 +39,11 @@ func Identity() Preconditioner { return identityPrec{} }
 // Jacobi returns the diagonal (Jacobi) preconditioner for a, the simplest
 // baseline between no preconditioning and the structured methods.
 // It returns an error if any diagonal entry is zero.
-func Jacobi(a *sparse.Matrix) (Preconditioner, error) {
-	d := a.Diagonal()
-	dinv := make([]float64, len(d))
-	for i, v := range d {
+func Jacobi(a sparse.Operator) (Preconditioner, error) {
+	rows, _ := a.Dims()
+	dinv := make([]float64, rows)
+	a.DiagonalInto(par.Default(), dinv)
+	for i, v := range dinv {
 		if v == 0 {
 			return nil, fmt.Errorf("krylov: zero diagonal at row %d", i)
 		}
@@ -204,16 +205,18 @@ func (w *Workspace) ensureBatch(n, k int) {
 // CG solves A x = b for SPD A with the preconditioned conjugate gradient
 // method. x holds the initial guess on entry and the solution on exit.
 // Iterations stop when the recurrence residual drops below tol*||b|| or
-// maxIter is reached; Stats reports the true final residual.
-func CG(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner) (Stats, error) {
+// maxIter is reached; Stats reports the true final residual. a is any
+// operator format (CSR or SELL); formats produce bit-identical kernels,
+// so the solve trajectory is independent of the format choice.
+func CG(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner) (Stats, error) {
 	return CGWith(rt, a, b, x, tol, maxIter, m, nil)
 }
 
 // CGWith is CG with a caller-provided Workspace; repeated solves through
 // the same Workspace perform no allocations. ws may be nil, in which
 // case a temporary workspace is allocated.
-func CGWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
-	n := a.Rows
+func CGWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
+	n, _ := a.Dims()
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: CG size mismatch (n=%d, len(b)=%d, len(x)=%d)", n, len(b), len(x))
 	}
@@ -309,14 +312,14 @@ func CGWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxI
 
 // GMRES solves A x = b with left-preconditioned restarted GMRES(restart).
 // x holds the initial guess on entry and the solution on exit.
-func GMRES(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner) (Stats, error) {
+func GMRES(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner) (Stats, error) {
 	return GMRESWith(rt, a, b, x, tol, maxIter, restart, m, nil)
 }
 
 // GMRESWith is GMRES with a caller-provided Workspace; repeated solves
 // through the same Workspace perform no allocations. ws may be nil.
-func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
-	n := a.Rows
+func GMRESWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
+	n, _ := a.Dims()
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: GMRES size mismatch")
 	}
@@ -484,7 +487,7 @@ func GMRESWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, tol float64, m
 // x_j = 0 in 0 iterations) is frozen — its alpha and beta are pinned to
 // zero so the shared vector updates become exact no-ops — while the
 // remaining columns iterate. Deterministic for every worker count.
-func CGBatch(rt *par.Runtime, a *sparse.Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner) ([]Stats, error) {
+func CGBatch(rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner) ([]Stats, error) {
 	return CGBatchWith(rt, a, b, x, k, tol, maxIter, m, nil)
 }
 
@@ -519,8 +522,8 @@ func preconditionBatch(m Preconditioner, r, z []float64, n, k int, rc, zc []floa
 // batch solves through the same Workspace perform no allocations. The
 // returned Stats slice (one entry per column) is owned by the workspace
 // and overwritten by the next batch solve through it. ws may be nil.
-func CGBatchWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
-	n := a.Rows
+func CGBatchWith(rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
+	n, _ := a.Dims()
 	if k <= 0 {
 		return nil, fmt.Errorf("krylov: CGBatch needs k >= 1, got %d", k)
 	}
@@ -766,7 +769,7 @@ func batchFinalize(b, x, ax, bnorm, rr []float64, stats []Stats, n, k int, tol f
 
 // finalResidualWith computes ||b - Ax|| / bnorm using scratch as the
 // residual buffer (its contents are overwritten).
-func finalResidualWith(rt *par.Runtime, a *sparse.Matrix, b, x []float64, bnorm float64, scratch []float64) float64 {
+func finalResidualWith(rt *par.Runtime, a sparse.Operator, b, x []float64, bnorm float64, scratch []float64) float64 {
 	a.SpMV(rt, x, scratch)
 	rr := 0.0
 	for i := range scratch {

@@ -98,11 +98,21 @@ func (r *Runtime) Serial(n int) bool {
 // For splits [0, n) into contiguous blocks and calls body(lo, hi) for each
 // block, possibly concurrently. body must only write to state owned by
 // indices in [lo, hi) for the result to be deterministic.
+//
+// When the effective worker count is one — a single-worker Runtime, a
+// loop too small to split, or a split that collapses to one block — the
+// body runs inline on the caller goroutine with no pool handoff: no
+// task, no atomics, no channel traffic. Single-thread solves therefore
+// pay nothing for the parallel API.
 func (r *Runtime) For(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	nb, chunk := r.split(n)
+	if nb == 1 {
+		body(0, n)
+		return
+	}
 	dispatch(n, nb, chunk, body, nil)
 }
 
@@ -118,6 +128,19 @@ func ForWith[S any](r *Runtime, n int, setup func(*Arena) S, body func(lo, hi in
 		return
 	}
 	nb, chunk := r.split(n)
+	if nb == 1 {
+		// Effective workers == 1: run the single participant inline on
+		// the caller, skipping the pool handoff and the participant
+		// closure wrappers (which would heap-allocate per call).
+		a := callerArena()
+		s := setup(a)
+		body(0, n, s)
+		if teardown != nil {
+			teardown(a, s)
+		}
+		releaseCallerArena(a)
+		return
+	}
 	wa := func(a *Arena) participant {
 		s := setup(a)
 		p := participant{run: func(lo, hi int) { body(lo, hi, s) }}

@@ -130,17 +130,13 @@ func ensureWorkers(n int) {
 }
 
 // run executes a parallel construct of nb chunk-sized blocks over [0, n)
-// with pool assistance. Exactly one of body and withArena is non-nil.
-// The caller always participates, so progress never depends on pool
-// capacity; a full task queue just means fewer helpers.
+// with pool assistance. Exactly one of body and withArena is non-nil,
+// and nb is at least 2: every caller (For, ForWith, ForBlocks) runs
+// single-block constructs inline on its own fast path, so dispatch only
+// ever sees work worth sharing. The caller always participates, so
+// progress never depends on pool capacity; a full task queue just means
+// fewer helpers.
 func dispatch(n, nb, chunk int, body func(lo, hi int), withArena func(a *Arena) participant) {
-	if nb <= 0 {
-		return
-	}
-	if nb == 1 {
-		runSingle(n, body, withArena)
-		return
-	}
 	t := taskPool.Get().(*task)
 	t.n, t.nb, t.chunk = n, nb, chunk
 	t.body = body
@@ -179,21 +175,6 @@ func dispatch(n, nb, chunk int, body func(lo, hi int), withArena func(a *Arena) 
 		<-t.done
 	}
 	t.release()
-}
-
-// runSingle executes a single-block construct inline on the caller.
-func runSingle(n int, body func(lo, hi int), withArena func(a *Arena) participant) {
-	if body != nil {
-		body(0, n)
-		return
-	}
-	a := callerArena()
-	p := withArena(a)
-	p.run(0, n)
-	if p.done != nil {
-		p.done()
-	}
-	releaseCallerArena(a)
 }
 
 // callerArenas recycles arenas for non-worker goroutines that execute

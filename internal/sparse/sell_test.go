@@ -1,0 +1,315 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"mis2go/internal/par"
+)
+
+// sellTestMatrix builds an irregular but valid CSR matrix: row i has
+// (i*7+3)%13 entries at deterministic pseudo-random columns. Exercises
+// mixed row lengths (including empty rows), edge chunks, and sigma
+// windows that actually reorder rows.
+func sellTestMatrix(rows, cols int) *Matrix {
+	a := &Matrix{Rows: rows, Cols: cols}
+	a.RowPtr = make([]int, rows+1)
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < rows; i++ {
+		nz := (i*7 + 3) % 13
+		if nz > cols {
+			nz = cols
+		}
+		seen := map[int32]bool{}
+		var rowCols []int32
+		for len(rowCols) < nz {
+			c := int32(next() % uint64(cols))
+			if !seen[c] {
+				seen[c] = true
+				rowCols = append(rowCols, c)
+			}
+		}
+		// sort ascending (Validate invariant)
+		for x := 1; x < len(rowCols); x++ {
+			v := rowCols[x]
+			y := x - 1
+			for ; y >= 0 && rowCols[y] > v; y-- {
+				rowCols[y+1] = rowCols[y]
+			}
+			rowCols[y+1] = v
+		}
+		for _, c := range rowCols {
+			a.Col = append(a.Col, c)
+			a.Val = append(a.Val, float64(int(next()%2000))/100-10)
+		}
+		a.RowPtr[i+1] = len(a.Col)
+	}
+	return a
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %x, want %x (not bitwise equal)", name, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestSELLKernelsBitwiseMatchCSR pins the format-equivalence contract:
+// every SELL kernel reproduces the CSR kernel bit for bit, across
+// shapes (uniform, irregular, empty rows, non-multiple-of-C rows),
+// sigma scopes, and worker counts.
+func TestSELLKernelsBitwiseMatchCSR(t *testing.T) {
+	mats := map[string]*Matrix{
+		"irregular":  sellTestMatrix(1003, 800),
+		"small":      sellTestMatrix(13, 9),
+		"singlerow":  sellTestMatrix(1, 5),
+		"widechunks": sellTestMatrix(64, 4000),
+	}
+	if err := mats["irregular"].Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range mats {
+		for _, sigma := range []int{0, SellC, 64, 1 << 20} {
+			s, err := NewSELL(a, sigma)
+			if err != nil {
+				t.Fatalf("%s sigma=%d: %v", name, sigma, err)
+			}
+			if s.NNZ() != a.NNZ() {
+				t.Fatalf("%s: SELL has %d entries, CSR %d", name, s.NNZ(), a.NNZ())
+			}
+			x := make([]float64, a.Cols)
+			b := make([]float64, a.Rows)
+			for i := range x {
+				x[i] = float64(i%17) - 8.25
+			}
+			for i := range b {
+				b[i] = float64(i%11) - 5.5
+			}
+			for _, workers := range []int{1, 2, 8} {
+				rt := par.New(workers)
+
+				yCSR := make([]float64, a.Rows)
+				ySELL := make([]float64, a.Rows)
+				a.SpMV(rt, x, yCSR)
+				s.SpMV(rt, x, ySELL)
+				bitsEqual(t, name+"/SpMV", ySELL, yCSR)
+
+				a.SpMVResidual(rt, b, x, yCSR)
+				s.SpMVResidual(rt, b, x, ySELL)
+				bitsEqual(t, name+"/SpMVResidual", ySELL, yCSR)
+
+				copy(yCSR, b)
+				copy(ySELL, b)
+				a.SpMVAdd(rt, x, yCSR)
+				s.SpMVAdd(rt, x, ySELL)
+				bitsEqual(t, name+"/SpMVAdd", ySELL, yCSR)
+
+				dinv := make([]float64, a.Rows)
+				src := make([]float64, a.Rows)
+				for i := range dinv {
+					dinv[i] = 1 / (2 + float64(i%5))
+					src[i] = float64(i%7) - 3
+				}
+				// JacobiSweep reads src both per row and per column, so it
+				// only makes sense when the column range fits the row range.
+				if a.Cols <= a.Rows {
+					a.JacobiSweep(rt, b, dinv, 0.7, src, yCSR)
+					s.JacobiSweep(rt, b, dinv, 0.7, src, ySELL)
+					bitsEqual(t, name+"/JacobiSweep", ySELL, yCSR)
+				}
+
+				for _, k := range []int{2, 4, 8, 5} {
+					xk := make([]float64, a.Cols*k)
+					for i := range xk {
+						xk[i] = float64(i%19) - 9
+					}
+					ykCSR := make([]float64, a.Rows*k)
+					ykSELL := make([]float64, a.Rows*k)
+					a.SpMM(rt, k, xk, ykCSR)
+					s.SpMM(rt, k, xk, ykSELL)
+					bitsEqual(t, name+"/SpMM", ykSELL, ykCSR)
+				}
+
+				dCSR := make([]float64, a.Rows)
+				dSELL := make([]float64, a.Rows)
+				a.DiagonalInto(rt, dCSR)
+				s.DiagonalInto(rt, dSELL)
+				bitsEqual(t, name+"/Diagonal", dSELL, dCSR)
+			}
+		}
+	}
+}
+
+// TestSELLFillValues pins the values-only refresh path: new same-pattern
+// values gathered through the cached entry schedule, with zero
+// allocations, producing the same kernels as a fresh conversion.
+func TestSELLFillValues(t *testing.T) {
+	a := sellTestMatrix(500, 400)
+	s, err := NewSELL(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := a.Clone()
+	for p := range a2.Val {
+		a2.Val[p] = a2.Val[p]*1.5 + 0.25
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := s.FillValues(a2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FillValues: %v allocs/op, want 0", allocs)
+	}
+	fresh, err := NewSELL(a2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := par.New(1)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	y1 := make([]float64, a.Rows)
+	y2 := make([]float64, a.Rows)
+	s.SpMV(rt, x, y1)
+	fresh.SpMV(rt, x, y2)
+	bitsEqual(t, "refreshed SpMV", y1, y2)
+
+	// Shape mismatches are clean errors.
+	if err := s.FillValues(sellTestMatrix(499, 400)); err == nil {
+		t.Fatal("FillValues accepted a different shape")
+	}
+}
+
+// TestSELLEmptyAndZero covers degenerate shapes: an empty matrix and an
+// all-empty-row matrix convert and apply cleanly.
+func TestSELLEmptyAndZero(t *testing.T) {
+	for _, rows := range []int{0, 5} {
+		a := &Matrix{Rows: rows, Cols: 3, RowPtr: make([]int, rows+1)}
+		s, err := NewSELL(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := []float64{1, 2, 3}
+		y := make([]float64, rows)
+		for i := range y {
+			y[i] = 99
+		}
+		s.SpMV(par.New(1), x, y)
+		for i := range y {
+			if y[i] != 0 {
+				t.Fatalf("empty-row SpMV: y[%d] = %g, want 0", i, y[i])
+			}
+		}
+	}
+}
+
+// TestSELLZeroAllocKernels: the SELL apply kernels are allocation-free.
+func TestSELLZeroAllocKernels(t *testing.T) {
+	a := sellTestMatrix(2000, 2000)
+	s, err := NewSELL(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := par.New(1)
+	x := make([]float64, 2000)
+	y := make([]float64, 2000)
+	b := make([]float64, 2000)
+	dinv := make([]float64, 2000)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+		b[i] = float64(i % 5)
+		dinv[i] = 0.5
+	}
+	kernels := map[string]func(){
+		"SpMV":         func() { s.SpMV(rt, x, y) },
+		"SpMVResidual": func() { s.SpMVResidual(rt, b, x, y) },
+		"SpMVAdd":      func() { s.SpMVAdd(rt, x, y) },
+		"JacobiSweep":  func() { s.JacobiSweep(rt, b, dinv, 0.7, x, y) },
+		"Diagonal":     func() { s.DiagonalInto(rt, y) },
+	}
+	for name, fn := range kernels {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Fatalf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestChooseFormat pins the auto heuristic: regular large patterns pick
+// SELL, small or skewed ones stay CSR.
+func TestChooseFormat(t *testing.T) {
+	// Uniform 5-entry rows, large: SELL.
+	n := 4096
+	u := &Matrix{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		for d := -2; d <= 2; d++ {
+			j := (i + d + n) % n
+			u.Col = append(u.Col, int32(j))
+			u.Val = append(u.Val, 1)
+		}
+		u.RowPtr[i+1] = len(u.Col)
+	}
+	if f := ChooseFormat(u); f != FormatSELL {
+		t.Fatalf("uniform: ChooseFormat = %v, want sell", f)
+	}
+	// Small: CSR regardless of regularity.
+	small := &Matrix{Rows: 16, Cols: 16, RowPtr: make([]int, 17)}
+	if f := ChooseFormat(small); f != FormatCSR {
+		t.Fatalf("small: ChooseFormat = %v, want csr", f)
+	}
+	// Highly skewed: one dense row among singletons.
+	sk := &Matrix{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for j := 0; j < n; j++ {
+		sk.Col = append(sk.Col, int32(j))
+		sk.Val = append(sk.Val, 1)
+	}
+	sk.RowPtr[1] = n
+	for i := 1; i < n; i++ {
+		sk.Col = append(sk.Col, int32(i))
+		sk.Val = append(sk.Val, 1)
+		sk.RowPtr[i+1] = len(sk.Col)
+	}
+	if f := ChooseFormat(sk); f != FormatCSR {
+		t.Fatalf("skewed: ChooseFormat = %v, want csr", f)
+	}
+}
+
+// TestNewOperatorDispatch covers the three formats and the auto
+// fallback path.
+func TestNewOperatorDispatch(t *testing.T) {
+	a := sellTestMatrix(100, 100)
+	if op, err := NewOperator(a, FormatCSR, 0); err != nil || op != Operator(a) {
+		t.Fatalf("csr: op=%T err=%v", op, err)
+	}
+	op, err := NewOperator(a, FormatSELL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*SELL); !ok {
+		t.Fatalf("sell: got %T", op)
+	}
+	// Auto on a small matrix falls back to CSR.
+	if op, err := NewOperator(a, FormatAuto, 0); err != nil || op != Operator(a) {
+		t.Fatalf("auto-small: op=%T err=%v", op, err)
+	}
+	if _, err := ParseFormat("bogus"); err == nil {
+		t.Fatal("ParseFormat accepted bogus")
+	}
+	for _, s := range []string{"auto", "csr", "sell", ""} {
+		if _, err := ParseFormat(s); err != nil {
+			t.Fatalf("ParseFormat(%q): %v", s, err)
+		}
+	}
+}

@@ -70,26 +70,25 @@ func (a *Matrix) SpMV(rt *par.Runtime, x, y []float64) {
 }
 
 // spmvRange is the SpMV kernel for rows [lo, hi): per-row slices for
-// bounds-check elimination and a 4-way unrolled dual-accumulator inner
-// loop (the gathers from x are independent, so unrolling exposes ILP).
-// The per-row summation order is a function of the row alone, keeping
-// results identical for every worker count.
+// bounds-check elimination and a strict left-to-right single-accumulator
+// inner loop. The summation order — term p added after term p-1, one
+// accumulator — is the canonical per-row order every operator format
+// (CSR here, SELL-C-sigma in sell.go) reproduces exactly, so switching
+// formats never changes a single bit of any result; independent rows
+// still give the out-of-order core plenty of ILP. The per-row order is a
+// function of the row alone, keeping results identical for every worker
+// count.
 func (a *Matrix) spmvRange(x, y []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
 		start, end := rp[i], rp[i+1]
 		cols := a.Col[start:end]
 		vals := a.Val[start:end]
-		var s0, s1 float64
-		k := 0
-		for ; k+4 <= len(cols); k += 4 {
-			s0 += vals[k]*x[cols[k]] + vals[k+1]*x[cols[k+1]]
-			s1 += vals[k+2]*x[cols[k+2]] + vals[k+3]*x[cols[k+3]]
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
-		for ; k < len(cols); k++ {
-			s0 += vals[k] * x[cols[k]]
-		}
-		y[i] = s0 + s1
+		y[i] = s
 	}
 }
 
@@ -113,16 +112,11 @@ func (a *Matrix) spmvResidualRange(b, x, r []float64, lo, hi int) {
 		start, end := rp[i], rp[i+1]
 		cols := a.Col[start:end]
 		vals := a.Val[start:end]
-		var s0, s1 float64
-		k := 0
-		for ; k+4 <= len(cols); k += 4 {
-			s0 += vals[k]*x[cols[k]] + vals[k+1]*x[cols[k+1]]
-			s1 += vals[k+2]*x[cols[k+2]] + vals[k+3]*x[cols[k+3]]
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
-		for ; k < len(cols); k++ {
-			s0 += vals[k] * x[cols[k]]
-		}
-		r[i] = b[i] - (s0 + s1)
+		r[i] = b[i] - s
 	}
 }
 
@@ -145,16 +139,11 @@ func (a *Matrix) spmvAddRange(x, y []float64, lo, hi int) {
 		start, end := rp[i], rp[i+1]
 		cols := a.Col[start:end]
 		vals := a.Val[start:end]
-		var s0, s1 float64
-		k := 0
-		for ; k+4 <= len(cols); k += 4 {
-			s0 += vals[k]*x[cols[k]] + vals[k+1]*x[cols[k+1]]
-			s1 += vals[k+2]*x[cols[k+2]] + vals[k+3]*x[cols[k+3]]
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
-		for ; k < len(cols); k++ {
-			s0 += vals[k] * x[cols[k]]
-		}
-		y[i] += s0 + s1
+		y[i] += s
 	}
 }
 

@@ -107,6 +107,70 @@ func TestSpMVEmptyRows(t *testing.T) {
 	}
 }
 
+// TestSpMVFusedEdgeCases pins the fused kernels' behavior on degenerate
+// shapes: an empty matrix (n = 0) and all-empty rows must run cleanly
+// (residual = b, add = no-op), at one worker and several.
+func TestSpMVFusedEdgeCases(t *testing.T) {
+	empty := &Matrix{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	allEmpty := &Matrix{Rows: 3, Cols: 3, RowPtr: []int{0, 0, 0, 0}}
+	for _, workers := range []int{1, 4} {
+		rt := par.New(workers)
+
+		// n = 0: every kernel is a no-op on zero-length vectors.
+		empty.SpMVResidual(rt, nil, nil, nil)
+		empty.SpMVAdd(rt, nil, nil)
+		empty.SpMV(rt, nil, nil)
+
+		// All-empty rows: A = 0, so r = b and y += 0.
+		b := []float64{1, -2, 3}
+		x := []float64{7, 8, 9}
+		r := make([]float64, 3)
+		allEmpty.SpMVResidual(rt, b, x, r)
+		for i := range b {
+			if r[i] != b[i] {
+				t.Fatalf("workers %d: residual[%d] = %g, want b[%d] = %g", workers, i, r[i], i, b[i])
+			}
+		}
+		y := []float64{4, 5, 6}
+		allEmpty.SpMVAdd(rt, x, y)
+		want := []float64{4, 5, 6}
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("workers %d: add y[%d] = %g, want %g", workers, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSpMVFusedLengthMismatchPanics documents the contract for
+// mis-sized vectors: the fused kernels index straight into their
+// arguments, so an undersized vector is a bounds panic, not silent
+// truncation.
+func TestSpMVFusedLengthMismatchPanics(t *testing.T) {
+	a := &Matrix{Rows: 3, Cols: 3,
+		RowPtr: []int{0, 1, 2, 3},
+		Col:    []int32{0, 1, 2},
+		Val:    []float64{1, 1, 1},
+	}
+	rt := par.New(1)
+	full := []float64{1, 2, 3}
+	short := []float64{1}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected a bounds panic for a mis-sized vector", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SpMVResidual short r", func() { a.SpMVResidual(rt, full, full, short) })
+	mustPanic("SpMVResidual short b", func() { a.SpMVResidual(rt, short, full, make([]float64, 3)) })
+	mustPanic("SpMVResidual short x", func() { a.SpMVResidual(rt, full, short, make([]float64, 3)) })
+	mustPanic("SpMVAdd short y", func() { a.SpMVAdd(rt, full, short) })
+	mustPanic("SpMVAdd short x", func() { a.SpMVAdd(rt, short, make([]float64, 3)) })
+}
+
 func TestDenseSolveProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		n := 2 + int(uint64(seed)%20)

@@ -32,6 +32,7 @@ import (
 	"mis2go/internal/krylov"
 	"mis2go/internal/mis"
 	"mis2go/internal/mmio"
+	"mis2go/internal/order"
 	"mis2go/internal/par"
 	"mis2go/internal/partition"
 	"mis2go/internal/schwarz"
@@ -112,6 +113,65 @@ func CoarseGraph(g *Graph, agg Aggregation) *Graph { return coarsen.CoarseGraph(
 // Matrix is a CSR sparse matrix.
 type Matrix = sparse.Matrix
 
+// Operator is the format-independent view of a sparse operator: the
+// kernels the solver stack needs (SpMV and its fused variants, SpMM,
+// smoother sweeps), dispatched over the storage format. *Matrix (CSR)
+// and the SELL-C-sigma conversion both implement it, with bit-identical
+// results: switching formats never changes any answer, only speed.
+type Operator = sparse.Operator
+
+// OperatorFormat selects an operator storage layout for NewOperator and
+// AMGOptions.Format.
+type OperatorFormat = sparse.Format
+
+// Operator formats: FormatAuto converts large regular matrices (fine
+// mesh Laplacians) to SELL-C-sigma and keeps small or irregular ones on
+// CSR; FormatCSR and FormatSELL force the choice.
+const (
+	FormatAuto = sparse.FormatAuto
+	FormatCSR  = sparse.FormatCSR
+	FormatSELL = sparse.FormatSELL
+)
+
+// NewOperator returns a's kernels in the requested format (the default
+// SELL sort scope; see SELLOperator to tune it). Under FormatAuto an
+// oversized SELL conversion silently falls back to CSR.
+func NewOperator(a *Matrix, format OperatorFormat) (Operator, error) {
+	return sparse.NewOperator(a, format, 0)
+}
+
+// SELLOperator converts a to SELL-C-sigma with an explicit sort scope
+// sigma (0 = default): rows are stably length-sorted within windows of
+// sigma rows so the chunked kernel pads nothing and streams linearly.
+func SELLOperator(a *Matrix, sigma int) (Operator, error) {
+	return sparse.NewSELL(a, sigma)
+}
+
+// RCMOrder computes the reverse Cuthill-McKee ordering of a's graph: a
+// bandwidth-reducing permutation (perm[new] = old) that clusters each
+// row's columns near the diagonal, keeping the kernels' gathers from x
+// cache-resident. Use PermuteMatrix/PermuteVector to move a system into
+// the ordering and InversePermuteVector to move solutions back.
+func RCMOrder(a *Matrix) []int32 { return order.RCM(a.Graph()) }
+
+// PermuteMatrix applies the symmetric permutation P·A·Pᵀ (perm[new] =
+// old), producing a standard sorted-row CSR matrix.
+func PermuteMatrix(a *Matrix, perm []int32) (*Matrix, error) { return order.PermuteMatrix(a, perm) }
+
+// PermuteVector gathers src into the reordered numbering:
+// dst[new] = src[perm[new]].
+func PermuteVector(dst, src []float64, perm []int32) { order.PermuteVector(dst, src, perm) }
+
+// InversePermuteVector scatters src back to the original numbering —
+// the exact (bitwise) inverse of PermuteVector.
+func InversePermuteVector(dst, src []float64, perm []int32) {
+	order.InversePermuteVector(dst, src, perm)
+}
+
+// Bandwidth returns max |i-j| over stored entries of a — the quantity
+// RCMOrder reduces.
+func Bandwidth(a *Matrix) int { return order.Bandwidth(a) }
+
 // GraphLaplacian builds the SPD graph Laplacian of g with a diagonal
 // shift (shift > 0 makes it nonsingular).
 func GraphLaplacian(g *Graph, shift float64) *Matrix { return gen.Laplacian(g, shift) }
@@ -176,13 +236,15 @@ type BatchPreconditioner = krylov.BatchPreconditioner
 type SolveStats = krylov.Stats
 
 // SolveCG runs preconditioned conjugate gradient on the SPD system
-// A x = b (m may be nil). threads 0 means all cores.
-func SolveCG(a *Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int) (SolveStats, error) {
+// A x = b (m may be nil). threads 0 means all cores. a is any operator
+// (a *Matrix, or a SELL conversion from NewOperator); every format
+// yields bit-identical solves.
+func SolveCG(a Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int) (SolveStats, error) {
 	return krylov.CG(par.New(threads), a, b, x, tol, maxIter, m)
 }
 
 // SolveGMRES runs preconditioned restarted GMRES on A x = b.
-func SolveGMRES(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int) (SolveStats, error) {
+func SolveGMRES(a Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int) (SolveStats, error) {
 	return krylov.GMRES(par.New(threads), a, b, x, tol, maxIter, restart, m)
 }
 
@@ -192,7 +254,7 @@ func SolveGMRES(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m 
 // columns (4- and 8-wide blocks take unrolled register kernels), so the
 // matrix bytes — the dominant traffic of sparse iteration — are read
 // once instead of k times. len(x) must be a.Cols*k, len(y) a.Rows*k.
-func SpMM(a *Matrix, x, y []float64, k, threads int) {
+func SpMM(a Operator, x, y []float64, k, threads int) {
 	a.SpMM(par.New(threads), k, x, y)
 }
 
@@ -201,7 +263,7 @@ func SpMM(a *Matrix, x, y []float64, k, threads int) {
 // iteration. b and x use the interleaved layout of SpMM; the returned
 // stats hold one entry per column. Columns converge (and freeze)
 // independently; a zero column returns x_j = 0 in 0 iterations.
-func SolveCGBatch(a *Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, threads int) ([]SolveStats, error) {
+func SolveCGBatch(a Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, threads int) ([]SolveStats, error) {
 	return krylov.CGBatch(par.New(threads), a, b, x, k, tol, maxIter, m)
 }
 
@@ -209,7 +271,7 @@ func SolveCGBatch(a *Matrix, b, x []float64, k int, tol float64, maxIter int, m 
 // repeated batch solves through the same workspace perform zero
 // allocations. The returned stats slice is owned by the workspace and
 // overwritten by its next batch solve.
-func SolveCGBatchWith(a *Matrix, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, threads int, ws *SolverWorkspace) ([]SolveStats, error) {
+func SolveCGBatchWith(a Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, threads int, ws *SolverWorkspace) ([]SolveStats, error) {
 	return krylov.CGBatchWith(par.New(threads), a, b, x, k, tol, maxIter, m, ws)
 }
 
@@ -223,12 +285,12 @@ func NewSolverWorkspace(n int) *SolverWorkspace { return krylov.NewWorkspace(n) 
 
 // SolveCGWith is SolveCG reusing a caller-held workspace: repeated
 // solves through the same workspace perform zero allocations.
-func SolveCGWith(a *Matrix, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
+func SolveCGWith(a Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
 	return krylov.CGWith(par.New(threads), a, b, x, tol, maxIter, m, ws)
 }
 
 // SolveGMRESWith is SolveGMRES reusing a caller-held workspace.
-func SolveGMRESWith(a *Matrix, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
+func SolveGMRESWith(a Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
 	return krylov.GMRESWith(par.New(threads), a, b, x, tol, maxIter, restart, m, ws)
 }
 
@@ -266,7 +328,7 @@ func MISK(g *Graph, k, threads int) MISResult {
 func VerifyMISK(g *Graph, set []int32, k int) error { return mis.CheckMISK(g, set, k) }
 
 // JacobiPreconditioner returns the diagonal preconditioner for a.
-func JacobiPreconditioner(a *Matrix) (Preconditioner, error) { return krylov.Jacobi(a) }
+func JacobiPreconditioner(a Operator) (Preconditioner, error) { return krylov.Jacobi(a) }
 
 // PartitionOptions configures Bisect.
 type PartitionOptions = partition.Options
