@@ -12,7 +12,7 @@
 
 PR ?= 1
 BASELINE ?= BENCH_SEED.json
-BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$'
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves'
 
 .PHONY: all build test race bench check
 
@@ -29,14 +29,16 @@ race:
 
 check:
 	go vet ./...
-	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero' ./...
+	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress' ./...
 
 bench:
 	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=1 . \
 		| go run ./cmd/benchjson -baseline $(BASELINE) -label pr$(PR) \
 			-ratio SpMM8_vs_8xSpMV=SpMV8Separate/SpMM8 \
 			-ratio Resetup_vs_FullSetup=AMGBuild/AMGRefresh \
-			-ratio SELL_vs_CSR=SpMVHot/SpMVSELL -out BENCH_PR$(PR).json
+			-ratio SELL_vs_CSR=SpMVHot/SpMVSELL \
+			-ratio Serve_vs_SequentialSolves=SequentialSolves/ServeThroughput \
+			-out BENCH_PR$(PR).json
 
 # benchsmoke runs every benchmark once (no timing fidelity) so the bench
 # code itself cannot rot unnoticed; CI runs this on every push.

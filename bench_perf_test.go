@@ -6,14 +6,19 @@
 package mis2go
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 
+	"mis2go/internal/amg"
 	"mis2go/internal/coarsen"
 	"mis2go/internal/gen"
 	"mis2go/internal/gs"
 	"mis2go/internal/krylov"
 	"mis2go/internal/mis"
 	"mis2go/internal/par"
+	"mis2go/internal/serve"
 	"mis2go/internal/sparse"
 )
 
@@ -324,5 +329,107 @@ func BenchmarkMIS2Repeated(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mis.MIS2(g, mis.Options{})
+	}
+}
+
+// serveBenchRequest is one request of the serving-throughput mix.
+type serveBenchRequest struct {
+	a *sparse.Matrix
+	b []float64
+}
+
+// serveBenchMix is the fixed request mix both serving benchmarks
+// replay: two sparsity patterns x four value sets x four same-operator
+// repeats, ordered so same-operator requests are adjacent (concurrent
+// clients pull them into the batching window together). 32 requests.
+func serveBenchMix() []serveBenchRequest {
+	patterns := []*sparse.Matrix{
+		gen.Laplacian(gen.Laplace3D(16, 16, 16), 0.05),
+		gen.Laplacian(gen.Laplace2D(56, 56), 0.1),
+	}
+	var mix []serveBenchRequest
+	for p, base := range patterns {
+		rhs := make([]float64, base.Rows)
+		for i := range rhs {
+			rhs[i] = 1 + float64((i+p)%13)/13
+		}
+		for v := 0; v < 4; v++ {
+			a := base.Clone()
+			a.Scale(1 + 0.25*float64(v))
+			for rep := 0; rep < 4; rep++ {
+				mix = append(mix, serveBenchRequest{a: a, b: rhs})
+			}
+		}
+	}
+	return mix
+}
+
+// BenchmarkServeThroughput measures the solve service on the mixed
+// new-pattern/refresh/repeat request stream, driven by 8 concurrent
+// client goroutines: the fingerprint cache amortizes setup, identical
+// operators are served for free, and the batching window coalesces
+// same-operator solves into shared CGBatch calls. One op = the whole
+// 32-request mix. Compare BenchmarkSequentialSolves (the ratio is
+// Serve_vs_SequentialSolves in BENCH_PR5.json).
+func BenchmarkServeThroughput(b *testing.B) {
+	mix := serveBenchMix()
+	s := serve.New(serve.Config{Tol: 1e-8, MaxIter: 400, BatchWindow: 500 * time.Microsecond})
+	ctx := context.Background()
+	const clients = 8
+	// Warm the cache with one sequential pass so every measured op does
+	// the same work (refreshes/reuses/coalesced solves, no cold builds):
+	// the ratio against BenchmarkSequentialSolves is explicitly
+	// steady-state service vs. naive per-request setup.
+	for _, r := range mix {
+		if _, _, err := s.Solve(ctx, r.a, r.b); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make(chan serveBenchRequest, len(mix))
+		for _, r := range mix {
+			work <- r
+		}
+		close(work)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range work {
+					if _, _, err := s.Solve(ctx, r.a, r.b); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkSequentialSolves is the single-caller baseline for the same
+// request mix: every request pays a full hierarchy build plus a solo
+// CG solve, one after another — what each client would do without the
+// service. One op = the whole 32-request mix.
+func BenchmarkSequentialSolves(b *testing.B) {
+	mix := serveBenchMix()
+	rt := par.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range mix {
+			h, err := amg.Build(r.a, amg.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, r.a.Rows)
+			bb := append([]float64(nil), r.b...)
+			if _, err := krylov.CGBatchWith(rt, r.a, bb, x, 1, 1e-8, 400, h, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

@@ -1,0 +1,202 @@
+// Command amgserve exposes the concurrent solve service over HTTP: a
+// JSON solve endpoint backed by the fingerprint-keyed hierarchy cache
+// and request-coalescing batcher, plus a plaintext metrics endpoint.
+//
+//	amgserve -addr :8080 &
+//	curl -s localhost:8080/solve -d '{"rows":2,"rowptr":[0,1,2],"col":[0,1],"val":[4,4],"b":[1,2]}'
+//	curl -s localhost:8080/metrics
+//
+// POST /solve accepts a CSR matrix with one right-hand side ("b") or
+// several ("bs") and returns the solution(s), per-column solver stats,
+// and what the request paid at the hierarchy cache ("build", "refresh",
+// "reuse", or "collision"). Repeated solves with the same sparsity
+// pattern pay only a numeric refresh; identical matrices pay nothing;
+// concurrent requests against one operator are coalesced into batched
+// CG solves (watch amgserve_batched_rhs_ratio).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"mis2go/internal/amg"
+	"mis2go/internal/serve"
+	"mis2go/internal/sparse"
+)
+
+// solveRequest is the JSON shape of POST /solve: a CSR matrix (cols
+// defaults to rows) and one or more right-hand sides.
+type solveRequest struct {
+	Rows   int         `json:"rows"`
+	Cols   int         `json:"cols,omitempty"`
+	RowPtr []int       `json:"rowptr"`
+	Col    []int32     `json:"col"`
+	Val    []float64   `json:"val"`
+	B      []float64   `json:"b,omitempty"`
+	Bs     [][]float64 `json:"bs,omitempty"`
+}
+
+// columnResult is one solved right-hand side.
+type columnResult struct {
+	X           []float64 `json:"x"`
+	Iterations  int       `json:"iterations"`
+	RelResidual float64   `json:"relres"`
+	Converged   bool      `json:"converged"`
+}
+
+// solveResponse is the JSON shape of a solve that produced results.
+type solveResponse struct {
+	Outcome string         `json:"outcome"`
+	Batched int            `json:"batched"`
+	Columns []columnResult `json:"columns"`
+	// X mirrors Columns[0].X for single-RHS requests whose column
+	// converged, so the common case stays a one-field read; an
+	// unconverged iterate is never surfaced through the convenience
+	// field.
+	X []float64 `json:"x,omitempty"`
+	// Error carries the solver error when some column did not converge;
+	// the response status is then 422 and the per-column results and
+	// stats are still included.
+	Error string `json:"error,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 8, "hierarchy cache capacity (distinct sparsity patterns)")
+	window := flag.Duration("window", 200*time.Microsecond, "batching window for coalescing same-operator requests (negative disables)")
+	maxBatch := flag.Int("maxbatch", 8, "max right-hand sides coalesced into one batched CG call")
+	inflight := flag.Int("inflight", 0, "max in-flight requests, 0 = 4*GOMAXPROCS (backpressure bound)")
+	maxBody := flag.Int64("maxbody", 512<<20, "max /solve request body bytes")
+	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
+	maxIter := flag.Int("maxiter", 500, "CG iteration cap")
+	threads := flag.Int("threads", 0, "solver worker count, 0 = all cores")
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		AMG:           amg.Options{Threads: *threads},
+		Tol:           *tol,
+		MaxIter:       *maxIter,
+		CacheCapacity: *cache,
+		BatchWindow:   *window,
+		MaxBatch:      *maxBatch,
+		MaxInFlight:   *inflight,
+		Threads:       *threads,
+	})
+	mux := newMux(svc, *maxBody)
+	log.Printf("amgserve listening on %s (cache %d, window %v, maxbatch %d)", *addr, *cache, *window, *maxBatch)
+	// Explicit server timeouts: a public solve endpoint must not let
+	// slow or stalled clients pin connection goroutines forever (the
+	// write timeout is generous — solutions for large systems are big).
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// newMux wires the service handlers; split from main for tests.
+// maxBody bounds the /solve request body so an oversized (or malicious)
+// upload fails fast instead of buffering gigabytes before validation.
+func newMux(svc *serve.Service, maxBody int64) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) { handleSolve(svc, w, r, maxBody) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, w) })
+	return mux
+}
+
+func handleSolve(svc *serve.Service, w http.ResponseWriter, r *http.Request, maxBody int64) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a solve request", http.StatusMethodNotAllowed)
+		return
+	}
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a, bs, err := req.system()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	xs, stats, err := svc.SolveBatch(r.Context(), a, bs)
+	if err != nil && len(xs) == 0 {
+		// Request-shaped failures (bad matrix, unbuildable hierarchy,
+		// canceled admission) have no partial result to report.
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, serve.ErrBadRequest):
+			status = http.StatusBadRequest
+		case r.Context().Err() != nil:
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	resp := solveResponse{Outcome: stats.Outcome.String(), Batched: stats.Batched}
+	for j, x := range xs {
+		cr := columnResult{X: x}
+		if j < len(stats.Columns) {
+			cs := stats.Columns[j]
+			cr.Iterations, cr.RelResidual, cr.Converged = cs.Iterations, cs.RelResidual, cs.Converged
+		}
+		resp.Columns = append(resp.Columns, cr)
+	}
+	if req.B != nil && len(xs) == 1 && len(resp.Columns) == 1 && resp.Columns[0].Converged {
+		resp.X = xs[0]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		// Partial failure (some column above tolerance): report it in
+		// the status line and body — a 200 with the final iterate would
+		// let status-only clients mistake a non-solution for the answer.
+		resp.Error = err.Error()
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("amgserve: encode response: %v", err)
+	}
+}
+
+// system assembles the CSR matrix and RHS set. Structural validation is
+// left to the service boundary (serve.SolveBatch runs Matrix.Validate
+// before admission), so large matrices are scanned once, not twice.
+func (req *solveRequest) system() (*sparse.Matrix, [][]float64, error) {
+	if req.Cols == 0 {
+		req.Cols = req.Rows
+	}
+	a := &sparse.Matrix{Rows: req.Rows, Cols: req.Cols, RowPtr: req.RowPtr, Col: req.Col, Val: req.Val}
+	bs := req.Bs
+	if req.B != nil {
+		bs = append([][]float64{req.B}, bs...)
+	}
+	if len(bs) == 0 {
+		return nil, nil, fmt.Errorf(`request carries no right-hand side (set "b" or "bs")`)
+	}
+	return a, bs, nil
+}
+
+func handleMetrics(svc *serve.Service, w http.ResponseWriter) {
+	m := svc.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "amgserve_requests_total %d\n", m.Requests)
+	fmt.Fprintf(w, "amgserve_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "amgserve_cache_builds_total %d\n", m.Builds)
+	fmt.Fprintf(w, "amgserve_cache_refreshes_total %d\n", m.Refreshes)
+	fmt.Fprintf(w, "amgserve_cache_hits_total %d\n", m.ValueHits)
+	fmt.Fprintf(w, "amgserve_cache_collisions_total %d\n", m.Collisions)
+	fmt.Fprintf(w, "amgserve_cache_evictions_total %d\n", m.Evictions)
+	fmt.Fprintf(w, "amgserve_batch_solves_total %d\n", m.BatchSolves)
+	fmt.Fprintf(w, "amgserve_batched_rhs_total %d\n", m.BatchedRHS)
+	fmt.Fprintf(w, "amgserve_batched_rhs_ratio %.3f\n", m.BatchedRHSRatio())
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mis2go/internal/amg"
+	"mis2go/internal/gen"
+	"mis2go/internal/serve"
+)
+
+// testServer returns an httptest server over a small solve service.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := serve.New(serve.Config{
+		AMG:         amg.Options{MinCoarseSize: 30},
+		Tol:         1e-10,
+		MaxIter:     200,
+		BatchWindow: -1,
+	})
+	ts := httptest.NewServer(newMux(svc, 64<<20))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// laplaceRequest builds the JSON request body for a small Laplacian
+// system with a deterministic RHS.
+func laplaceRequest(t *testing.T, scale float64) ([]byte, int) {
+	t.Helper()
+	a := gen.Laplacian(gen.Laplace2D(12, 12), 0.1)
+	a.Scale(scale)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	body, err := json.Marshal(solveRequest{
+		Rows: a.Rows, RowPtr: a.RowPtr, Col: a.Col, Val: a.Val, B: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, a.Rows
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, body []byte) solveResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("solve status %d: %s", resp.StatusCode, msg)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body, n := laplaceRequest(t, 1)
+
+	sr := postSolve(t, ts, body)
+	if sr.Outcome != "build" {
+		t.Fatalf("first solve outcome %q, want build", sr.Outcome)
+	}
+	if len(sr.X) != n || len(sr.Columns) != 1 || !sr.Columns[0].Converged {
+		t.Fatalf("bad response: %d unknowns, %d columns", len(sr.X), len(sr.Columns))
+	}
+	for _, v := range sr.X {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in solution")
+		}
+	}
+
+	// Same system again: served from cache with identical bits.
+	sr2 := postSolve(t, ts, body)
+	if sr2.Outcome != "reuse" {
+		t.Fatalf("repeat outcome %q, want reuse", sr2.Outcome)
+	}
+	for i := range sr.X {
+		if sr.X[i] != sr2.X[i] {
+			t.Fatalf("cached solve differs at %d", i)
+		}
+	}
+
+	// Same pattern, new values: numeric refresh.
+	body3, _ := laplaceRequest(t, 2)
+	if sr3 := postSolve(t, ts, body3); sr3.Outcome != "refresh" {
+		t.Fatalf("new-values outcome %q, want refresh", sr3.Outcome)
+	}
+}
+
+func TestSolveEndpointMultiRHS(t *testing.T) {
+	ts := testServer(t)
+	a := gen.Laplacian(gen.Laplace2D(10, 10), 0.1)
+	bs := make([][]float64, 3)
+	for j := range bs {
+		bs[j] = make([]float64, a.Rows)
+		for i := range bs[j] {
+			bs[j][i] = float64((i+j)%5) + 1
+		}
+	}
+	body, _ := json.Marshal(solveRequest{Rows: a.Rows, RowPtr: a.RowPtr, Col: a.Col, Val: a.Val, Bs: bs})
+	sr := postSolve(t, ts, body)
+	if len(sr.Columns) != 3 || sr.Batched != 3 {
+		t.Fatalf("multi-RHS: %d columns batched %d, want 3/3", len(sr.Columns), sr.Batched)
+	}
+	if sr.X != nil {
+		t.Fatal("single-RHS convenience field set on a bs-only request")
+	}
+}
+
+func TestSolveEndpointRejectsBadRequests(t *testing.T) {
+	ts := testServer(t)
+	for name, body := range map[string]string{
+		"garbage":    "{not json",
+		"no-rhs":     `{"rows":1,"rowptr":[0,1],"col":[0],"val":[2]}`,
+		"bad-matrix": `{"rows":2,"rowptr":[0,1],"col":[0],"val":[2],"b":[1,2]}`,
+		"short-b":    `{"rows":2,"rowptr":[0,1,2],"col":[0,1],"val":[2,2],"b":[1]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /solve status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body, _ := laplaceRequest(t, 1)
+	postSolve(t, ts, body)
+	postSolve(t, ts, body)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"amgserve_requests_total 2",
+		"amgserve_cache_builds_total 1",
+		"amgserve_cache_hits_total 1",
+		"amgserve_batched_rhs_ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSolveEndpointReportsNonConvergence: a solve that exhausts the
+// iteration budget must not come back as a bare 200 — the response is
+// 422 with the error and per-column stats, and the convenience "x"
+// field is withheld.
+func TestSolveEndpointReportsNonConvergence(t *testing.T) {
+	svc := serve.New(serve.Config{
+		AMG:         amg.Options{MinCoarseSize: 30},
+		Tol:         1e-14,
+		MaxIter:     1, // guaranteed non-convergence on a real system
+		BatchWindow: -1,
+	})
+	ts := httptest.NewServer(newMux(svc, 64<<20))
+	t.Cleanup(ts.Close)
+	body, _ := laplaceRequest(t, 1)
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d for unconverged solve, want 422", resp.StatusCode)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Error == "" || sr.X != nil {
+		t.Fatalf("unconverged response: error=%q x-set=%v, want error text and no convenience x", sr.Error, sr.X != nil)
+	}
+	if len(sr.Columns) != 1 || sr.Columns[0].Converged {
+		t.Fatalf("unconverged response columns: %+v", sr.Columns)
+	}
+}

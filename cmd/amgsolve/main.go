@@ -98,7 +98,10 @@ func main() {
 	}
 	if perm != nil {
 		pb := make([]float64, len(b))
-		order.PermuteVector(pb, b, perm)
+		if err := order.PermuteVector(pb, b, perm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		b = pb
 	}
 	// The outer CG matvec runs through the same format policy as the
@@ -119,7 +122,10 @@ func main() {
 	}
 	if perm != nil {
 		orig := make([]float64, len(x))
-		order.InversePermuteVector(orig, x, perm)
+		if err := order.InversePermuteVector(orig, x, perm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		x = orig
 	}
 	xsum := 0.0

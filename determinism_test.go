@@ -246,7 +246,9 @@ func TestRCMSELLSolveBitwiseMatchesCSR(t *testing.T) {
 		b0[i] = float64(i%13) - 6
 	}
 	b := make([]float64, n)
-	PermuteVector(b, b0, perm)
+	if err := PermuteVector(b, b0, perm); err != nil {
+		t.Fatal(err)
+	}
 
 	solve := func(format OperatorFormat, threads int) []uint64 {
 		h, err := NewAMG(a, AMGOptions{Threads: threads, Format: format})
@@ -265,7 +267,9 @@ func TestRCMSELLSolveBitwiseMatchesCSR(t *testing.T) {
 		}
 		// Inverse-permute the solution back to the original numbering.
 		back := make([]float64, n)
-		InversePermuteVector(back, x, perm)
+		if err := InversePermuteVector(back, x, perm); err != nil {
+			t.Fatalf("format %v: %v", format, err)
+		}
 		bits := make([]uint64, n)
 		for i, v := range back {
 			bits[i] = math.Float64bits(v)

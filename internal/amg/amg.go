@@ -81,7 +81,10 @@ type Options struct {
 	// never depend on the choice.
 	Format sparse.Format
 	// SellSigma is the SELL-C-sigma sort scope (0 = the sparse package
-	// default); only consulted when a level converts to SELL.
+	// default; any other value must be a positive multiple of the chunk
+	// size and is validated under every Format, so a configuration typo
+	// fails fast — see sparse.CheckSigma). The scope itself only takes
+	// effect when a level converts to SELL.
 	SellSigma int
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
@@ -159,7 +162,16 @@ type levelPlan struct {
 
 // Hierarchy is a built SA-AMG preconditioner. It implements
 // krylov.Preconditioner via Precondition (one V-cycle, zero initial
-// guess). Not safe for concurrent use.
+// guess).
+//
+// Concurrency: a Hierarchy is single-caller mutable state — Precondition,
+// Solve, BuildNumeric, and Refresh all write the level scratch vectors
+// (and the latter two the level operators), so no two of them may run
+// concurrently on one instance. Distinct hierarchies are independent and
+// may be used from any number of goroutines (they share only the
+// process-wide worker pool, which is concurrency-safe). A serving layer
+// that multiplexes goroutines onto hierarchies must hold a per-hierarchy
+// lock across every call; internal/serve does exactly that.
 type Hierarchy struct {
 	Levels []*Level
 	coarse *sparse.Dense
@@ -171,12 +183,19 @@ type Hierarchy struct {
 	// fing fingerprints the fine-level sparsity pattern the symbolic
 	// phase was built for; BuildNumeric and Refresh reject mismatches.
 	fing uint64
+	// diagPos[i] is the entry index of row i's diagonal in the fine
+	// pattern (-1 when absent) — pattern-derived, computed once in the
+	// symbolic phase so the pre-mutation value validation of every
+	// numeric pass gathers diagonals instead of re-searching rows.
+	diagPos []int
 	// valid is true when the numeric phase has completed successfully:
-	// a numeric error (zero diagonal on some level, degenerate spectral
-	// radius) aborts mid-replay and leaves the levels half-refreshed, so
-	// Precondition and Solve refuse to run until a later BuildNumeric or
-	// Refresh succeeds. Pre-mutation rejections (pattern mismatch,
-	// non-finite values) leave validity untouched.
+	// a numeric error (zero diagonal surfacing on a coarse Galerkin
+	// level, degenerate spectral radius) aborts mid-replay and leaves
+	// the levels half-refreshed, so Precondition and Solve refuse to run
+	// until a later BuildNumeric or Refresh succeeds. Pre-mutation
+	// rejections (pattern mismatch, non-finite values, zero/missing/
+	// sign-flipped fine diagonal — see validateValues) leave validity
+	// untouched.
 	valid bool
 	// solveR is the fine-level residual scratch of Solve, preallocated
 	// so stationary iterations allocate nothing.
@@ -236,6 +255,16 @@ func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 	h := &Hierarchy{
 		opt: opt, rt: rt,
 		fing: hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col),
+	}
+	h.diagPos = make([]int, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		h.diagPos[i] = -1
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if int(a.Col[p]) == i {
+				h.diagPos[i] = p
+				break
+			}
+		}
 	}
 
 	cur := a
@@ -327,6 +356,13 @@ func (h *Hierarchy) BuildNumeric(a *sparse.Matrix) error {
 	if err := h.checkSamePattern(a); err != nil {
 		return err
 	}
+	// A full numeric rebuild accepts any usable values — unlike Refresh
+	// it carries no "same operator, updated values" contract, so no
+	// sign consistency against the previous state is demanded and
+	// repeated BuildNumeric calls stay history-independent.
+	if err := h.validateValues(a, false); err != nil {
+		return err
+	}
 	return h.numeric(a)
 }
 
@@ -342,21 +378,27 @@ func (h *Hierarchy) BuildNumeric(a *sparse.Matrix) error {
 // zero steady-state heap allocations; the Gauss-Seidel smoothers
 // rebuild their color-set operators and allocate during that rebuild.
 //
-// Pre-mutation rejections (pattern mismatch, non-finite values) leave
-// the hierarchy's previous numeric state intact and usable. An error
-// during the numeric replay itself (a zero diagonal surfacing on some
-// level, a degenerate spectral radius) leaves the levels half-refreshed:
-// the hierarchy is invalidated and Precondition/Solve panic until a
-// subsequent Refresh or BuildNumeric succeeds.
+// All foreseeable rejections happen before any level state is touched —
+// pattern mismatch, non-finite values, and a zero, missing, or
+// sign-flipped fine diagonal are validated up front (see validateValues)
+// — so a rejected Refresh leaves the previous operator fully usable. An
+// error during the numeric replay itself (a zero diagonal surfacing only
+// on a coarse Galerkin level, a degenerate spectral radius) still leaves
+// the levels half-refreshed: the hierarchy is invalidated (Valid reports
+// false) and Precondition/Solve panic until a subsequent Refresh or
+// BuildNumeric succeeds.
 func (h *Hierarchy) Refresh(a *sparse.Matrix) error {
 	if err := h.checkSamePattern(a); err != nil {
+		return err
+	}
+	if err := h.validateValues(a, h.valid); err != nil {
 		return err
 	}
 	return h.numeric(a)
 }
 
 // checkSamePattern verifies that a matches the symbolic phase's fine
-// matrix in shape, pattern (fingerprint), and value finiteness.
+// matrix in shape and pattern (fingerprint).
 func (h *Hierarchy) checkSamePattern(a *sparse.Matrix) error {
 	fine := h.Levels[0].A
 	if a.Rows != fine.Rows || a.Cols != fine.Cols {
@@ -365,9 +407,38 @@ func (h *Hierarchy) checkSamePattern(a *sparse.Matrix) error {
 	if len(a.Col) != len(fine.Col) || hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col) != h.fing {
 		return fmt.Errorf("amg: refresh matrix sparsity pattern differs from the symbolic setup (%d nnz vs %d); rebuild with BuildSymbolic for a new pattern", len(a.Col), len(fine.Col))
 	}
+	return nil
+}
+
+// validateValues rejects value sets that cannot produce a usable numeric
+// state, before the replay mutates anything: non-finite entries, rows
+// whose diagonal is zero or absent (every level diagonal inversion and
+// smoother needs it), and — with checkSign, the Refresh contract —
+// fine diagonal entries whose sign flipped relative to the current
+// operator, the classic symptom of a corrupted or mis-assembled
+// re-setup matrix (an SPD operator turning indefinite). Catching all of
+// these up front is what lets a rejected Refresh leave the previous
+// operator fully usable. checkSign must only be set when the hierarchy
+// holds a valid numeric state (dinv is read as the previous diagonal's
+// sign).
+func (h *Hierarchy) validateValues(a *sparse.Matrix, checkSign bool) error {
 	for p, v := range a.Val {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("amg: refresh matrix has non-finite value at entry %d", p)
+			return fmt.Errorf("amg: matrix has non-finite value at entry %d", p)
+		}
+	}
+	prev := h.Levels[0].dinv // same sign as the previous diagonal (it is its inverse)
+	for i, p := range h.diagPos {
+		diag := 0.0
+		if p >= 0 {
+			diag = a.Val[p]
+		}
+		if diag == 0 {
+			return fmt.Errorf("amg: zero diagonal at row %d of the fine matrix", i)
+		}
+		if checkSign && (diag > 0) != (prev[i] > 0) {
+			return fmt.Errorf("amg: diagonal sign flip at row %d (was %g, now %g); refusing to refresh onto a structurally different operator",
+				i, 1/prev[i], diag)
 		}
 	}
 	return nil
@@ -502,6 +573,13 @@ func estimateSpectralRadius(rt *par.Runtime, a *sparse.Matrix, dinv []float64, i
 	}
 	return lambda
 }
+
+// Valid reports whether the hierarchy holds a usable numeric state:
+// true after a successful BuildNumeric or Refresh, false before the
+// first numeric pass and after a mid-replay numeric failure (in which
+// case Precondition and Solve panic until a numeric pass succeeds).
+// Pre-mutation rejections never change it.
+func (h *Hierarchy) Valid() bool { return h.valid }
 
 // NumLevels returns the hierarchy depth.
 func (h *Hierarchy) NumLevels() int { return len(h.Levels) }

@@ -223,31 +223,78 @@ func TestRefreshRejectsZeroDiagonal(t *testing.T) {
 			bad.Val[p] = 0
 		}
 	}
+	before := preconditionOnce(h)
 	if err := h.Refresh(bad); err == nil {
 		t.Fatal("refresh with zero diagonal not rejected")
 	} else if !strings.Contains(err.Error(), "zero diagonal") {
 		t.Fatalf("zero-diagonal error not descriptive: %v", err)
 	}
-	// The failed replay left the levels half-refreshed: solving must
-	// fail loudly instead of using the inconsistent operators.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("Precondition after failed numeric refresh did not panic")
-			}
-		}()
-		preconditionOnce(h)
-	}()
-	// A subsequent successful refresh restores the hierarchy.
-	if err := h.Refresh(a); err != nil {
-		t.Fatal(err)
+	// The rejection happened before any level state was touched: the
+	// hierarchy still reports valid and keeps serving the previous
+	// operator, bitwise unchanged.
+	if !h.Valid() {
+		t.Fatal("pre-mutation rejection invalidated the hierarchy")
+	}
+	after := preconditionOnce(h)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("V-cycle result changed after rejected refresh at %d: %g vs %g", i, before[i], after[i])
+		}
 	}
 	want, err := Build(a, Options{MinCoarseSize: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hierarchiesEqual(t, "recovered-after-failed-refresh", h, want)
-	preconditionOnce(h)
+	hierarchiesEqual(t, "after-rejected-refresh", h, want)
+	// A subsequent good refresh still works.
+	if err := h.Refresh(rescale(a, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshRejectsMissingAndSignFlippedDiagonal(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace3D(8, 8, 8), 0.05)
+	h, err := Build(a, Options{MinCoarseSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := preconditionOnce(h)
+
+	// A sign-flipped diagonal entry (the operator turning indefinite on
+	// the identical pattern) must be rejected pre-mutation.
+	flip := a.Clone()
+	for p := flip.RowPtr[5]; p < flip.RowPtr[6]; p++ {
+		if int(flip.Col[p]) == 5 {
+			flip.Val[p] = -flip.Val[p]
+		}
+	}
+	if err := h.Refresh(flip); err == nil {
+		t.Fatal("refresh with sign-flipped diagonal not rejected")
+	} else if !strings.Contains(err.Error(), "sign flip") {
+		t.Fatalf("sign-flip error not descriptive: %v", err)
+	}
+	if !h.Valid() {
+		t.Fatal("sign-flip rejection invalidated the hierarchy")
+	}
+	after := preconditionOnce(h)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("V-cycle result changed after rejected refresh at %d", i)
+		}
+	}
+	// A uniformly negated operator is still sign-consistent per row
+	// against its own previous state only if signs match; flipping every
+	// diagonal is also a flip relative to the built state and must be
+	// rejected too.
+	neg := a.Clone()
+	neg.Scale(-1)
+	if err := h.Refresh(neg); err == nil {
+		t.Fatal("refresh with fully negated operator not rejected")
+	}
+	// The hierarchy remains usable for the original values.
+	if err := h.Refresh(a); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestBuildSymbolicLeavesValuesToNumeric(t *testing.T) {
@@ -268,4 +315,95 @@ func TestBuildSymbolicLeavesValuesToNumeric(t *testing.T) {
 		t.Fatal(err)
 	}
 	hierarchiesEqual(t, "symbolic-then-other-values", h, want)
+}
+
+// TestBuildRejectsMissingDiagonal: a pattern with no stored diagonal in
+// some row cannot produce a usable numeric state; validateValues'
+// missing-entry (diagPos < 0) branch must reject it.
+func TestBuildRejectsMissingDiagonal(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace2D(6, 6), 0.05)
+	// Rebuild the CSR with row 3's diagonal entry deleted.
+	b := &sparse.Matrix{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, 1, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if i == 3 && int(a.Col[p]) == 3 {
+				continue
+			}
+			b.Col = append(b.Col, a.Col[p])
+			b.Val = append(b.Val, a.Val[p])
+		}
+		b.RowPtr = append(b.RowPtr, len(b.Col))
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(b, Options{}); err == nil {
+		t.Fatal("matrix with missing diagonal entry accepted")
+	} else if !strings.Contains(err.Error(), "zero diagonal") {
+		t.Fatalf("missing-diagonal error not descriptive: %v", err)
+	}
+}
+
+// TestRefreshDeepNumericFailureInvalidates: a value set that passes the
+// pre-mutation validation but fails mid-replay (here: a singular coarse
+// factorization) must invalidate the hierarchy — Valid reports false
+// and Precondition panics — until a subsequent numeric pass succeeds.
+func TestRefreshDeepNumericFailureInvalidates(t *testing.T) {
+	a := &sparse.Matrix{Rows: 2, Cols: 2,
+		RowPtr: []int{0, 2, 4}, Col: []int32{0, 1, 0, 1}, Val: []float64{2, 1, 1, 2}}
+	h, err := Build(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positive diagonal, finite, same signs — but singular: the dense
+	// coarse factorization fails after the level state was refreshed.
+	sing := a.Clone()
+	copy(sing.Val, []float64{1, 1, 1, 1})
+	if err := h.Refresh(sing); err == nil {
+		t.Fatal("singular refresh not rejected")
+	}
+	if h.Valid() {
+		t.Fatal("deep numeric failure left the hierarchy marked valid")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Precondition on an invalidated hierarchy did not panic")
+			}
+		}()
+		preconditionOnce(h)
+	}()
+	if err := h.Refresh(a); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Valid() {
+		t.Fatal("successful refresh did not restore validity")
+	}
+	preconditionOnce(h)
+}
+
+// TestBuildNumericIsHistoryIndependent: BuildNumeric is a full numeric
+// rebuild — "values may differ" — so unlike Refresh it must accept a
+// sign-changed operator regardless of what was built before, and the
+// result must equal building the negated operator directly.
+func TestBuildNumericIsHistoryIndependent(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace3D(8, 8, 8), 0.05)
+	neg := a.Clone()
+	neg.Scale(-1)
+	h, err := Build(a, Options{MinCoarseSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BuildNumeric(neg); err != nil {
+		t.Fatalf("BuildNumeric rejected sign-changed values after a prior numeric pass: %v", err)
+	}
+	want, err := Build(neg, Options{MinCoarseSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hierarchiesEqual(t, "rebuild-negated", h, want)
+	// Refresh keeps its stricter same-operator contract.
+	if err := h.Refresh(a); err == nil {
+		t.Fatal("Refresh accepted a sign flip relative to the current operator")
+	}
 }

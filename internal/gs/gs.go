@@ -25,7 +25,16 @@ import (
 )
 
 // Multicolor is a set-up multicolor Gauss-Seidel operator (point or
-// cluster flavored). Not safe for concurrent use of the same instance.
+// cluster flavored).
+//
+// Concurrency: after setup the operator's own state (matrix, inverse
+// diagonal, color sets, cluster rows) is read-only, so concurrent
+// Sweep/Apply/Precondition calls on one instance are safe provided each
+// caller passes its own b and x vectors — the sweeps write only into
+// the caller's x. SetOmega mutates the instance and must not run
+// concurrently with anything. Note that the AMG hierarchy passes its
+// level scratch as b/x, so two V-cycles through one hierarchy still
+// race (see amg.Hierarchy); the safety here is per distinct vectors.
 type Multicolor struct {
 	a    *sparse.Matrix
 	dinv []float64

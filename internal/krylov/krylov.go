@@ -1,6 +1,14 @@
 // Package krylov provides the iterative solvers used by the paper's
 // solver experiments: preconditioned conjugate gradient (Table V) and
 // preconditioned restarted GMRES (Table VI).
+//
+// Concurrency: the solver functions are stateless between the operator,
+// the vectors, and the workspace they are handed — concurrent solves
+// are safe exactly when those are not shared: operators are read-only
+// (safe to share), but each concurrent solve needs its own b/x vectors,
+// its own Workspace, and a preconditioner that is either concurrency-
+// safe itself (Identity, Jacobi) or externally serialized (an AMG
+// hierarchy). internal/serve packages this contract behind a service.
 package krylov
 
 import (

@@ -149,9 +149,12 @@ func checkPerm(perm []int32, n int) error {
 		return fmt.Errorf("order: permutation length %d, want %d", len(perm), n)
 	}
 	seen := make([]bool, n)
-	for _, p := range perm {
-		if p < 0 || int(p) >= n || seen[p] {
-			return fmt.Errorf("order: invalid permutation entry %d", p)
+	for i, p := range perm {
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("order: permutation entry perm[%d] = %d out of range [0, %d)", i, p, n)
+		}
+		if seen[p] {
+			return fmt.Errorf("order: duplicate permutation entry perm[%d] = %d", i, p)
 		}
 		seen[p] = true
 	}
@@ -198,24 +201,47 @@ func PermuteMatrix(a *sparse.Matrix, perm []int32) (*sparse.Matrix, error) {
 	return b, nil
 }
 
+// checkVectorPerm validates a vector permutation call: dst, src, and
+// perm must agree in length and perm must be a permutation of [0, n).
+// A malformed permutation (duplicate or out-of-range entries) would
+// silently drop or double source entries — corrupt data, not an index
+// panic — so it is a hard error, not a best-effort gather.
+func checkVectorPerm(dst, src []float64, perm []int32) error {
+	if len(dst) != len(perm) || len(src) != len(perm) {
+		return fmt.Errorf("order: vector permute length mismatch (dst %d, src %d, perm %d)",
+			len(dst), len(src), len(perm))
+	}
+	return checkPerm(perm, len(perm))
+}
+
 // PermuteVector gathers src into the reordered numbering:
 // dst[new] = src[perm[new]]. Moves a right-hand side (or initial guess)
 // into the space of a PermuteMatrix-reordered system. dst and src must
-// not alias.
-func PermuteVector(dst, src []float64, perm []int32) {
+// not alias. The permutation is validated: duplicate or out-of-range
+// entries return a descriptive error with dst untouched.
+func PermuteVector(dst, src []float64, perm []int32) error {
+	if err := checkVectorPerm(dst, src, perm); err != nil {
+		return err
+	}
 	for i, p := range perm {
 		dst[i] = src[p]
 	}
+	return nil
 }
 
 // InversePermuteVector scatters src back to the original numbering:
 // dst[perm[new]] = src[new] — the exact inverse of PermuteVector (pure
 // data movement, so a solution moved back loses nothing: values are
-// bit-identical). dst and src must not alias.
-func InversePermuteVector(dst, src []float64, perm []int32) {
+// bit-identical). dst and src must not alias. The permutation is
+// validated exactly as in PermuteVector.
+func InversePermuteVector(dst, src []float64, perm []int32) error {
+	if err := checkVectorPerm(dst, src, perm); err != nil {
+		return err
+	}
 	for i, p := range perm {
 		dst[p] = src[i]
 	}
+	return nil
 }
 
 // Bandwidth returns the matrix bandwidth max_i,j |i - j| over stored

@@ -108,11 +108,15 @@ func TestPermuteMatrixSemantics(t *testing.T) {
 	y := make([]float64, n)
 	a.SpMV(rt, x, y)
 	px := make([]float64, n)
-	PermuteVector(px, x, perm)
+	if err := PermuteVector(px, x, perm); err != nil {
+		t.Fatal(err)
+	}
 	py := make([]float64, n)
 	b.SpMV(rt, px, py)
 	back := make([]float64, n)
-	InversePermuteVector(back, py, perm)
+	if err := InversePermuteVector(back, py, perm); err != nil {
+		t.Fatal(err)
+	}
 	for i := range y {
 		if math.Abs(back[i]-y[i]) > 1e-12*(1+math.Abs(y[i])) {
 			t.Fatalf("SpMV equivariance: [%d] %g vs %g", i, back[i], y[i])
@@ -136,8 +140,12 @@ func TestPermuteVectorRoundTrip(t *testing.T) {
 	}
 	fwd := make([]float64, n)
 	back := make([]float64, n)
-	PermuteVector(fwd, x, perm)
-	InversePermuteVector(back, fwd, perm)
+	if err := PermuteVector(fwd, x, perm); err != nil {
+		t.Fatal(err)
+	}
+	if err := InversePermuteVector(back, fwd, perm); err != nil {
+		t.Fatal(err)
+	}
 	for i := range x {
 		if back[i] != x[i] {
 			t.Fatalf("round trip: [%d] %g != %g", i, back[i], x[i])
@@ -168,4 +176,67 @@ func TestBandwidthEdge(t *testing.T) {
 	if bw := Bandwidth(sparse.Identity(5)); bw != 0 {
 		t.Fatalf("identity: bandwidth %d", bw)
 	}
+}
+
+// TestPermuteVectorRejectsMalformedPerms: duplicate, out-of-range, and
+// length-mismatched permutations are descriptive errors (with dst
+// untouched), never silent data corruption.
+func TestPermuteVectorRejectsMalformedPerms(t *testing.T) {
+	src := []float64{1, 2, 3, 4}
+	cases := map[string][]int32{
+		"duplicate":  {0, 1, 1, 3},
+		"outofrange": {0, 1, 2, 4},
+		"negative":   {0, -1, 2, 3},
+		"short":      {0, 1, 2},
+	}
+	for name, perm := range cases {
+		dst := []float64{9, 9, 9, 9}
+		if err := PermuteVector(dst, src, perm); err == nil {
+			t.Fatalf("%s: PermuteVector accepted malformed permutation %v", name, perm)
+		}
+		for i, v := range dst {
+			if v != 9 {
+				t.Fatalf("%s: dst[%d] mutated to %g on rejected permutation", name, i, v)
+			}
+		}
+		if err := InversePermuteVector(dst, src, perm); err == nil {
+			t.Fatalf("%s: InversePermuteVector accepted malformed permutation %v", name, perm)
+		}
+	}
+	// Length mismatch between the vectors and the permutation.
+	if err := PermuteVector(make([]float64, 3), src, []int32{0, 1, 2, 3}); err == nil {
+		t.Fatal("PermuteVector accepted dst shorter than perm")
+	}
+}
+
+// TestPermuteMatrixRejectsMalformedPerms mirrors the vector validation
+// on the symmetric matrix permutation.
+func TestPermuteMatrixRejectsMalformedPerms(t *testing.T) {
+	a := gen.Laplacian(gen.Laplace2D(4, 4), 0.1)
+	for name, perm := range map[string][]int32{
+		"duplicate":  dupPerm(a.Rows),
+		"outofrange": rangePerm(a.Rows),
+	} {
+		if _, err := PermuteMatrix(a, perm); err == nil {
+			t.Fatalf("%s: PermuteMatrix accepted malformed permutation", name)
+		}
+	}
+}
+
+func dupPerm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	p[1] = p[0]
+	return p
+}
+
+func rangePerm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	p[n-1] = int32(n)
+	return p
 }

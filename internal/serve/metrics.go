@@ -1,0 +1,59 @@
+package serve
+
+import "sync/atomic"
+
+// counters is the service's internal atomic counter set.
+type counters struct {
+	requests    atomic.Int64
+	rejected    atomic.Int64
+	builds      atomic.Int64
+	refreshes   atomic.Int64
+	valueHits   atomic.Int64
+	collisions  atomic.Int64
+	evictions   atomic.Int64
+	batchSolves atomic.Int64
+	batchedRHS  atomic.Int64
+}
+
+// Metrics is a consistent-enough snapshot of the service counters (each
+// counter is read atomically; the set is not read under one lock, which
+// monitoring does not need).
+type Metrics struct {
+	// Requests counts admitted requests; Rejected counts requests whose
+	// context was canceled while waiting for admission (backpressure).
+	Requests, Rejected int64
+	// Builds, Refreshes, and ValueHits partition cache outcomes by what
+	// the request paid: full construction, numeric-only replay, nothing.
+	Builds, Refreshes, ValueHits int64
+	// Collisions counts fingerprint collisions served uncached;
+	// Evictions counts hierarchies dropped by LRU capacity pressure.
+	Collisions, Evictions int64
+	// BatchSolves counts CGBatch calls; BatchedRHS counts the
+	// right-hand-side columns they carried in total.
+	BatchSolves, BatchedRHS int64
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() Metrics {
+	return Metrics{
+		Requests:    s.m.requests.Load(),
+		Rejected:    s.m.rejected.Load(),
+		Builds:      s.m.builds.Load(),
+		Refreshes:   s.m.refreshes.Load(),
+		ValueHits:   s.m.valueHits.Load(),
+		Collisions:  s.m.collisions.Load(),
+		Evictions:   s.m.evictions.Load(),
+		BatchSolves: s.m.batchSolves.Load(),
+		BatchedRHS:  s.m.batchedRHS.Load(),
+	}
+}
+
+// BatchedRHSRatio is the mean number of right-hand sides per CGBatch
+// call — 1.0 means no coalescing ever happened, higher means the
+// batching window is amortizing matrix traversals across users.
+func (m Metrics) BatchedRHSRatio() float64 {
+	if m.BatchSolves == 0 {
+		return 0
+	}
+	return float64(m.BatchedRHS) / float64(m.BatchSolves)
+}

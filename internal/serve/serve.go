@@ -1,0 +1,701 @@
+// Package serve turns the solver stack into a concurrent solve service:
+// many goroutines (request handlers, simulation shards, API clients)
+// submit "matrix values + right-hand side(s)" requests and the service
+// amortizes the expensive parts across them.
+//
+// Three observations drive the design, following the paper's argument
+// that MIS-2-based setup is cheap enough to re-run freely:
+//
+//   - Traffic repeats sparsity patterns. Each distinct pattern is keyed
+//     by hash.PatternFingerprint into an LRU cache of AMG hierarchies:
+//     the first request for a pattern pays the full symbolic+numeric
+//     build, a request with the same pattern but new values pays only
+//     the numeric Refresh (plan replays), and a request whose values are
+//     bitwise identical to the cached operator pays nothing.
+//   - Traffic repeats operators. Requests that arrive within a small
+//     batching window against the same operator (same pattern and
+//     values) are coalesced into one krylov.CGBatch call, so one SpMM
+//     traversal of the matrix per iteration serves every coalesced
+//     right-hand side.
+//   - Solver state is mutable. Hierarchies, workspaces, and level
+//     scratch are single-caller by contract, so the service single-
+//     flights all work per cache entry behind a mutex: concurrent
+//     requests against different patterns run fully in parallel, while
+//     requests against one pattern serialize their setup and share
+//     batched solves.
+//
+// A Service is safe for concurrent use by any number of goroutines. A
+// bounded admission semaphore (Config.MaxInFlight) provides backpressure:
+// excess requests wait (or fail when their context is canceled) instead
+// of piling unbounded work onto the solver. Per-request RequestStats and
+// service-wide Metrics expose what each request paid.
+//
+// Determinism carries over from the underlying stack: a served solution
+// is bitwise identical to the same system solved by a sequential single
+// caller (krylov.CGBatch with k = 1 on a freshly built hierarchy), for
+// any worker count, any cache state, and any coalescing — columns of a
+// batched CG recurrence are exactly independent, and Hierarchy.Refresh
+// is bitwise identical to a fresh build.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"mis2go/internal/amg"
+	"mis2go/internal/hash"
+	"mis2go/internal/krylov"
+	"mis2go/internal/par"
+	"mis2go/internal/sparse"
+)
+
+// Config configures a Service. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// AMG configures the hierarchies built for cached patterns.
+	AMG amg.Options
+	// Tol is the relative-residual tolerance of served solves
+	// (default 1e-8).
+	Tol float64
+	// MaxIter caps CG iterations per solve (default 500).
+	MaxIter int
+	// CacheCapacity bounds the number of cached hierarchies; the least
+	// recently used pattern is evicted beyond it (default 8, minimum 1).
+	CacheCapacity int
+	// BatchWindow is how long the first request against an operator
+	// waits for same-operator requests to coalesce with before solving
+	// (default 200µs; negative disables coalescing).
+	BatchWindow time.Duration
+	// MaxBatch caps the right-hand sides in one CGBatch call — both how
+	// many requests coalesce and how many columns a single SolveBatch
+	// request may carry, which also bounds the per-entry solver scratch
+	// the cache retains (default 8; 1 disables coalescing).
+	MaxBatch int
+	// MaxInFlight bounds admitted in-flight requests for backpressure
+	// (default 4×GOMAXPROCS).
+	MaxInFlight int
+	// Threads is the solver worker count (0 = GOMAXPROCS), applied to
+	// the Krylov kernels and — unless AMG.Threads is set explicitly —
+	// to hierarchy construction and the V-cycle preconditioner too.
+	// Results are deterministic for every choice.
+	Threads int
+}
+
+// defaultBatchWindow is the coalescing window when Config leaves it zero:
+// long enough to catch a concurrent burst against one operator, short
+// enough to be invisible next to a multigrid solve.
+const defaultBatchWindow = 200 * time.Microsecond
+
+func (c Config) withDefaults() Config {
+	if c.Tol <= 0 {
+		c.Tol = 1e-8
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 500
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = defaultBatchWindow
+	} else if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.AMG.Threads == 0 {
+		// The V-cycle preconditioner does the bulk of per-iteration work;
+		// a Threads bound that only throttled the outer CG kernels would
+		// be a trap, so the hierarchy inherits it unless set explicitly.
+		c.AMG.Threads = c.Threads
+	}
+	return c
+}
+
+// Outcome reports what a request paid at the hierarchy cache.
+type Outcome int
+
+const (
+	// OutcomeBuild: first request for the pattern; paid the full
+	// symbolic + numeric hierarchy construction.
+	OutcomeBuild Outcome = iota
+	// OutcomeRefresh: cached pattern, new values; paid the numeric
+	// Refresh (plan replays) only.
+	OutcomeRefresh
+	// OutcomeReuse: cached pattern with bitwise-identical values; paid
+	// nothing beyond the solve.
+	OutcomeReuse
+	// OutcomeCollision: the pattern fingerprint matched a cached entry
+	// of a different shape (a hash collision); the request was served
+	// correctly but uncached.
+	OutcomeCollision
+)
+
+// String names the outcome for logs and metrics.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBuild:
+		return "build"
+	case OutcomeRefresh:
+		return "refresh"
+	case OutcomeReuse:
+		return "reuse"
+	case OutcomeCollision:
+		return "collision"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// ErrBadRequest is wrapped by every request-shaped rejection (malformed
+// matrix, wrong right-hand-side lengths, oversized batch), so transports
+// can distinguish caller errors from solver failures with errors.Is.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// RequestStats reports what one request paid and how its solve went.
+type RequestStats struct {
+	// Outcome is the hierarchy-cache outcome.
+	Outcome Outcome
+	// Batched is the total number of right-hand-side columns in the
+	// CGBatch call that served this request (1 when the request ran
+	// alone).
+	Batched int
+	// Columns holds the solver stats of this request's right-hand
+	// sides, in request order.
+	Columns []krylov.Stats
+}
+
+// Service is a concurrent solve service. Create one with New; the zero
+// value is not usable. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+	rt  *par.Runtime
+	// sem is the admission semaphore bounding in-flight requests.
+	sem chan struct{}
+
+	// mu guards the cache index (entries + lru). It is never held
+	// across a build, refresh, or solve — those serialize on the
+	// per-entry lock — so cache lookups stay fast under load.
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	m counters
+}
+
+// entry is one cached pattern: the hierarchy, the service-owned fine
+// matrix (current numeric values), solver scratch, and the coalescing
+// state. key/rows/cols/nnz are immutable; elem belongs to the index
+// (guarded by Service.mu, like the map and list it lives in); every
+// other field is guarded by mu. Holding mu across the solve is what
+// makes hierarchies and workspaces — single-caller by contract —
+// race-clean under concurrent requests.
+type entry struct {
+	key             uint64
+	rows, cols, nnz int
+
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when pending drops to zero
+	h    *amg.Hierarchy
+	// fine holds the values the hierarchy's numeric state was built
+	// from; spare is the ping-pong buffer a Refresh runs against, so a
+	// rejected Refresh never clobbers fine (they share the immutable
+	// pattern arrays and differ only in Val).
+	fine, spare *sparse.Matrix
+	// op is the outer-solve view of fine in the configured operator
+	// format (fine itself for CSR; a SELL conversion refreshed through
+	// sell.FillValues otherwise) — the same format policy the hierarchy
+	// levels follow, so the per-iteration outer SpMM gets the chunked
+	// kernels too. Formats are bit-compatible: the choice never changes
+	// any served result.
+	op   sparse.Operator
+	sell *sparse.SELL
+	// pending counts batches created but not yet solved; values may not
+	// change while any batch is in flight.
+	pending int
+	// refreshWaiters counts requests parked on cond until pending
+	// drains so they can refresh the values. While any are queued, new
+	// batch leaders skip the coalescing window (they solve while
+	// holding mu, so pending can never stay positive across an unlock)
+	// — the fairness gate that keeps a new-values request from being
+	// starved by a stream of current-values batches.
+	refreshWaiters int
+	// cur is the open batch accepting joiners (nil when none).
+	cur *batch
+	// Solver scratch, reused across this entry's solves (safe: the
+	// entry lock is held for the duration of every solve).
+	ws         *krylov.Workspace
+	bbuf, xbuf []float64
+
+	elem *list.Element
+}
+
+// batch is one coalesced CGBatch call: the columns of every joined
+// request, solved together, results fanned back out.
+type batch struct {
+	bs    [][]float64 // right-hand-side columns, join order
+	xs    [][]float64 // per-column results, filled by the leader
+	stats []krylov.Stats
+	err   error
+	k     int
+	done  chan struct{} // closed by the leader after the solve
+	// full is closed by the joiner that brings the batch to MaxBatch,
+	// waking the leader early instead of sleeping out the rest of the
+	// window (no later joiner can fit, so at most one close).
+	full chan struct{}
+}
+
+// reset returns the entry to the unbuilt state (must hold e.mu): the
+// next request to observe it — queued on the mutex or resuming from the
+// condition wait — rebuilds from its own matrix.
+func (e *entry) reset() {
+	e.h, e.fine, e.spare, e.op, e.sell = nil, nil, nil, nil, nil
+}
+
+// New returns a Service with the given configuration (zero fields take
+// the documented defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		rt:      par.New(cfg.Threads),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		entries: make(map[uint64]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Solve serves one system A x = b: admission (backpressure), hierarchy
+// cache lookup by pattern fingerprint, build/refresh/reuse of the
+// numeric state, and a possibly coalesced CG solve. The returned x is
+// freshly allocated. ctx bounds admission only — once admitted, a
+// request runs to completion (a canceled joiner would otherwise let the
+// batch leader read a right-hand side its caller has taken back).
+//
+// a and b are only read, and never retained past the call: the service
+// keeps its own copy of the matrix, so the caller may mutate or reuse
+// both freely after Solve returns.
+func (s *Service) Solve(ctx context.Context, a *sparse.Matrix, b []float64) ([]float64, RequestStats, error) {
+	xs, st, err := s.SolveBatch(ctx, a, [][]float64{b})
+	if len(xs) == 0 {
+		return nil, st, err
+	}
+	return xs[0], st, err
+}
+
+// SolveBatch is Solve for a request carrying several right-hand sides
+// against one matrix; the columns stay together through coalescing and
+// are solved in one CGBatch call. Stats carries one krylov.Stats per
+// column. When some columns fail to converge the error is non-nil but
+// every solution and per-column stat is still returned.
+func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float64) ([][]float64, RequestStats, error) {
+	var st RequestStats
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if a == nil || a.Rows != a.Cols {
+		return nil, st, fmt.Errorf("%w: matrix must be square", ErrBadRequest)
+	}
+	if len(bs) == 0 {
+		return nil, st, fmt.Errorf("%w: request carries no right-hand side", ErrBadRequest)
+	}
+	if len(bs) > s.cfg.MaxBatch {
+		// The batch width bound applies to a single request's own
+		// columns too: it is what keeps the per-entry solver scratch
+		// (≈6·n·k floats inside the workspace) bounded, so one
+		// oversized request cannot pin gigabytes in a cache entry.
+		return nil, st, fmt.Errorf("%w: request carries %d right-hand sides, service accepts at most %d per request (Config.MaxBatch)", ErrBadRequest, len(bs), s.cfg.MaxBatch)
+	}
+	for j, b := range bs {
+		if len(b) != a.Rows {
+			return nil, st, fmt.Errorf("%w: right-hand side %d has %d entries, matrix has %d rows", ErrBadRequest, j, len(b), a.Rows)
+		}
+	}
+	// Reject structurally invalid CSR before admission: the cached paths
+	// index the request's arrays inside the per-entry critical section,
+	// and a panic there would wedge the pattern for every later request.
+	// The build path re-validates inside BuildSymbolic; this moves the
+	// failure to the API boundary for every path.
+	if err := a.Validate(); err != nil {
+		return nil, st, fmt.Errorf("%w: invalid matrix: %w", ErrBadRequest, err)
+	}
+
+	// Backpressure: block until an in-flight slot frees up, or fail
+	// with the caller's context.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.m.rejected.Add(1)
+		return nil, st, fmt.Errorf("serve: admission: %w", ctx.Err())
+	}
+	defer func() { <-s.sem }()
+	s.m.requests.Add(1)
+
+	key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
+	e, collision := s.lookup(key, a)
+	if collision {
+		return s.solveUncached(a, bs, &st)
+	}
+	return s.solveCached(e, a, bs, &st)
+}
+
+// lookup returns the cache entry for key, creating (and LRU-evicting)
+// as needed under the index lock. collision reports that the key is
+// cached for a different matrix shape — a fingerprint collision — in
+// which case no entry is returned and the request must bypass the cache.
+func (s *Service) lookup(key uint64, a *sparse.Matrix) (e *entry, collision bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		// Shape pre-check on hit: two patterns hashing to one
+		// fingerprint must not share a hierarchy. This catches
+		// different-shape collisions without touching the entry lock;
+		// equal-shape collisions are caught by the exact pattern
+		// comparison in solveCached (silently corrupting results is the
+		// one thing a collision must never do).
+		if e.rows != a.Rows || e.cols != a.Cols || e.nnz != a.NNZ() {
+			s.m.collisions.Add(1)
+			return nil, true
+		}
+		s.lru.MoveToFront(e.elem)
+		return e, false
+	}
+	e = &entry{key: key, rows: a.Rows, cols: a.Cols, nnz: a.NNZ()}
+	e.cond = sync.NewCond(&e.mu)
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	for s.lru.Len() > s.cfg.CacheCapacity {
+		old := s.lru.Remove(s.lru.Back()).(*entry)
+		delete(s.entries, old.key)
+		s.m.evictions.Add(1)
+	}
+	return e, false
+}
+
+// drop removes e from the cache if it is still indexed (an entry whose
+// build failed, or whose numeric state a deep Refresh failure left
+// unusable). In-flight holders of e keep working; the next request for
+// the pattern rebuilds fresh. Must not be called with e.mu held (lock
+// order is index lock outside entry lock, never both inward).
+func (s *Service) drop(e *entry) {
+	s.mu.Lock()
+	if cur, ok := s.entries[e.key]; ok && cur == e {
+		delete(s.entries, e.key)
+		s.lru.Remove(e.elem)
+	}
+	s.mu.Unlock()
+}
+
+// solveCached runs the cached-pattern path: ensure the hierarchy's
+// numeric state matches the request's values (build, refresh, or
+// nothing), then solve through the entry's batcher.
+func (s *Service) solveCached(e *entry, a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+	e.mu.Lock()
+	for {
+		if e.h == nil {
+			// First request for the pattern — or the first to observe an
+			// entry reset by a failed build or deep refresh failure,
+			// including waiters resuming from cond.Wait below: pay the
+			// full construction. Waiters for the same pattern block on
+			// e.mu here — the single-flight guarantee that K concurrent
+			// first-requests build exactly once.
+			fine := a.Clone()
+			h, err := amg.Build(fine, s.cfg.AMG)
+			if err != nil {
+				e.mu.Unlock()
+				s.drop(e)
+				return nil, *st, fmt.Errorf("serve: hierarchy build: %w", err)
+			}
+			e.h = h
+			e.fine = fine
+			e.spare = &sparse.Matrix{
+				Rows: fine.Rows, Cols: fine.Cols,
+				RowPtr: fine.RowPtr, Col: fine.Col, // pattern arrays are immutable and shared
+				Val: make([]float64, len(fine.Val)),
+			}
+			op, err := sparse.NewOperator(fine, s.cfg.AMG.Format, s.cfg.AMG.SellSigma)
+			if err != nil {
+				e.reset()
+				e.mu.Unlock()
+				s.drop(e)
+				return nil, *st, fmt.Errorf("serve: outer operator format: %w", err)
+			}
+			e.op, e.sell = op, nil
+			if sl, ok := op.(*sparse.SELL); ok {
+				e.sell = sl
+			}
+			e.ws = krylov.NewWorkspace(fine.Rows)
+			st.Outcome = OutcomeBuild
+			s.m.builds.Add(1)
+			break
+		}
+		if !samePattern(e.fine, a) {
+			// Equal-shape fingerprint collision: the request's pattern
+			// hashes to this entry's key and matches its dimensions and
+			// entry count, but is a different pattern. Refreshing would
+			// scatter the request's values onto the cached pattern and
+			// silently solve the wrong matrix, so serve it uncached.
+			e.mu.Unlock()
+			s.m.collisions.Add(1)
+			return s.solveUncached(a, bs, st)
+		}
+		if sameValues(e.fine.Val, a.Val) {
+			// Same operator as the cached numeric state: pay nothing.
+			st.Outcome = OutcomeReuse
+			s.m.valueHits.Add(1)
+			break
+		}
+		if e.pending > 0 {
+			// In-flight batches are pinned to the current values; wait
+			// for them to drain before refreshing under them. The
+			// waiter count suppresses new coalescing windows, so the
+			// drain is bounded by the batches already open. Everything
+			// is re-checked on wake: the entry may have been reset (or
+			// refreshed to these exact values) meanwhile.
+			e.refreshWaiters++
+			e.cond.Wait()
+			e.refreshWaiters--
+			continue
+		}
+		copy(e.spare.Val, a.Val)
+		// BuildNumeric, not Refresh: the service has no "same operator
+		// evolving over time" contract — independent clients may submit
+		// any values on a pattern — so the history-dependent diagonal
+		// sign check would make the outcome depend on invisible cache
+		// state (rejected while cached, fully built after an eviction).
+		// Both run the identical numeric replay at identical cost.
+		if err := e.h.BuildNumeric(e.spare); err != nil {
+			if !e.h.Valid() {
+				// A deep numeric failure invalidated the hierarchy
+				// mid-replay. Reset the entry while still holding its
+				// lock — same-pattern waiters queued on e.mu or e.cond
+				// must find the unbuilt state and rebuild, never an
+				// invalidated hierarchy (whose Precondition panics) —
+				// and retire it from the index so the next lookup
+				// starts fresh.
+				e.reset()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+				s.drop(e)
+			} else {
+				e.mu.Unlock()
+			}
+			return nil, *st, fmt.Errorf("serve: hierarchy refresh: %w", err)
+		}
+		e.fine, e.spare = e.spare, e.fine
+		if e.sell != nil {
+			// The SELL conversion gathers the new values through its
+			// cached entry schedule; CSR outer operators just re-point.
+			// A failure is impossible by construction (the ping-pong
+			// matrices share the conversion's pattern) — treat one like
+			// a deep numeric failure so nothing stale is ever served.
+			if err := e.sell.FillValues(e.fine); err != nil {
+				e.reset()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+				s.drop(e)
+				return nil, *st, fmt.Errorf("serve: outer operator refresh: %w", err)
+			}
+		} else {
+			e.op = e.fine
+		}
+		st.Outcome = OutcomeRefresh
+		s.m.refreshes.Add(1)
+		break
+	}
+	return s.solveBatched(e, bs, st)
+}
+
+// solveBatched joins or leads a coalesced batch for the entry's current
+// operator. Called with e.mu held; returns with it released.
+func (s *Service) solveBatched(e *entry, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+	m := len(bs)
+	// Join the open batch when the request's columns fit.
+	if e.cur != nil && len(e.cur.bs)+m <= s.cfg.MaxBatch {
+		bt := e.cur
+		lo := len(bt.bs)
+		for _, b := range bs {
+			bt.bs = append(bt.bs, b)
+			bt.xs = append(bt.xs, make([]float64, e.rows))
+		}
+		if len(bt.bs) == s.cfg.MaxBatch {
+			close(bt.full) // batch is full; stop the leader's window early
+		}
+		e.mu.Unlock()
+		<-bt.done
+		return requestResult(bt, lo, m, st)
+	}
+
+	// Lead a new batch: publish it for joiners, sleep out the window
+	// (or until a joiner fills the batch), close it, and solve while
+	// holding the entry lock.
+	bt := &batch{done: make(chan struct{}), full: make(chan struct{})}
+	for _, b := range bs {
+		bt.bs = append(bt.bs, b)
+		bt.xs = append(bt.xs, make([]float64, e.rows))
+	}
+	e.pending++
+	if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > m && e.refreshWaiters == 0 {
+		e.cur = bt
+		e.mu.Unlock()
+		timer := time.NewTimer(s.cfg.BatchWindow)
+		select {
+		case <-timer.C:
+		case <-bt.full:
+			timer.Stop()
+		}
+		e.mu.Lock()
+		if e.cur == bt {
+			e.cur = nil
+		}
+	}
+
+	k := len(bt.bs)
+	n := e.rows
+	e.bbuf = grow(e.bbuf, n*k)
+	e.xbuf = grow(e.xbuf, n*k)
+	interleave(e.bbuf, bt.bs, n, k)
+	clear(e.xbuf[:n*k]) // zero initial guess for every column
+	stats, err := krylov.CGBatchWith(s.rt, e.op, e.bbuf, e.xbuf, k, s.cfg.Tol, s.cfg.MaxIter, e.h, e.ws)
+	bt.k = k
+	bt.err = err
+	bt.stats = make([]krylov.Stats, len(stats))
+	copy(bt.stats, stats) // stats slice is workspace-owned; keep a copy
+	deinterleave(bt.xs, e.xbuf, n, k)
+	s.m.batchSolves.Add(1)
+	s.m.batchedRHS.Add(int64(k))
+	e.pending--
+	if e.pending == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	close(bt.done)
+	return requestResult(bt, 0, m, st)
+}
+
+// requestResult extracts one request's columns [lo, lo+m) from a solved
+// batch: solutions, per-column stats, and an error iff one of the
+// request's own columns failed (a neighbor's failure in the same batch
+// is not this request's error).
+func requestResult(bt *batch, lo, m int, st *RequestStats) ([][]float64, RequestStats, error) {
+	st.Batched = bt.k
+	xs := bt.xs[lo : lo+m]
+	var err error
+	if len(bt.stats) == bt.k {
+		st.Columns = append(st.Columns, bt.stats[lo:lo+m]...)
+		failed := 0
+		for _, cs := range st.Columns {
+			if !cs.Converged {
+				failed++
+			}
+		}
+		if failed > 0 {
+			// Request-scoped error: the batch-wide message counts other
+			// callers' columns, which is not this request's diagnostics
+			// (the underlying error stays wrapped for errors.Is).
+			err = fmt.Errorf("serve: %d of %d requested right-hand side(s) did not converge: %w", failed, m, bt.err)
+		}
+	} else {
+		// The batch solve failed before producing per-column stats.
+		err = fmt.Errorf("serve: %w", bt.err)
+	}
+	return xs, *st, err
+}
+
+// solveUncached serves a fingerprint-collision request correctly but
+// without touching the cache: a fresh hierarchy and a one-shot solve
+// through the same CGBatch kernel, so even this path is bitwise
+// identical to the cached one.
+func (s *Service) solveUncached(a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+	st.Outcome = OutcomeCollision
+	h, err := amg.Build(a, s.cfg.AMG)
+	if err != nil {
+		return nil, *st, fmt.Errorf("serve: hierarchy build: %w", err)
+	}
+	n := a.Rows
+	k := len(bs)
+	bb := make([]float64, n*k)
+	xb := make([]float64, n*k)
+	interleave(bb, bs, n, k)
+	stats, serr := krylov.CGBatchWith(s.rt, a, bb, xb, k, s.cfg.Tol, s.cfg.MaxIter, h, nil)
+	bt := &batch{k: k, err: serr}
+	for j := 0; j < k; j++ {
+		bt.xs = append(bt.xs, make([]float64, n))
+	}
+	deinterleave(bt.xs, xb, n, k)
+	bt.stats = append(bt.stats, stats...)
+	return requestResult(bt, 0, k, st)
+}
+
+// interleave gathers k column vectors into the interleaved multi-RHS
+// layout of sparse.SpMM: the k values of row i contiguous at
+// [i*k : (i+1)*k].
+func interleave(dst []float64, cols [][]float64, n, k int) {
+	for j, col := range cols {
+		for i := 0; i < n; i++ {
+			dst[i*k+j] = col[i]
+		}
+	}
+}
+
+// deinterleave scatters an interleaved multi-RHS block back into the k
+// column vectors — the exact inverse of interleave.
+func deinterleave(cols [][]float64, src []float64, n, k int) {
+	for j, col := range cols {
+		for i := 0; i < n; i++ {
+			col[i] = src[i*k+j]
+		}
+	}
+}
+
+// samePattern reports exact pattern equality of two same-shape matrices
+// (the shape and entry count were already checked at lookup). An exact
+// compare, not a second hash: this is the last line of defense against
+// fingerprint collisions, and it costs no more than the value compare
+// the hit path pays anyway.
+func samePattern(x, y *sparse.Matrix) bool {
+	for i, p := range x.RowPtr {
+		if y.RowPtr[i] != p {
+			return false
+		}
+	}
+	for i, c := range x.Col {
+		if y.Col[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// sameValues reports bitwise equality of two value arrays. Bitwise (not
+// ==) so that the "pay nothing" fast path never conflates values that
+// would produce different operators (-0 vs 0 aside, a NaN never gets
+// here: the build and refresh paths reject non-finite values).
+func sameValues(x, y []float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// grow returns s resized to length n, reusing capacity when possible.
+func grow(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}

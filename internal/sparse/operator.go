@@ -149,11 +149,17 @@ func ChooseFormat(a *Matrix) Format {
 }
 
 // NewOperator returns a's kernels in the requested format. sigma is the
-// SELL sort scope (0 selects the default; ignored for CSR). FormatAuto
-// applies ChooseFormat; a SELL conversion that fails (an operator too
-// large for the 32-bit entry schedule) falls back to CSR under
-// FormatAuto and is an error under FormatSELL.
+// SELL sort scope (0 selects the default; ignored for CSR). A malformed
+// sigma (see CheckSigma) is an error under every format — FormatAuto
+// must not silently turn a configuration typo into a CSR fallback.
+// FormatAuto applies ChooseFormat; a SELL conversion that fails for
+// capacity reasons (an operator too large for the 32-bit entry
+// schedule) falls back to CSR under FormatAuto and is an error under
+// FormatSELL.
 func NewOperator(a *Matrix, format Format, sigma int) (Operator, error) {
+	if err := CheckSigma(sigma); err != nil {
+		return nil, err
+	}
 	switch format {
 	case FormatCSR:
 		return a, nil

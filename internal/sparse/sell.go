@@ -38,6 +38,10 @@ import (
 // CSR entry it came from. Refreshing values for a same-pattern matrix
 // (the AMG numeric/Refresh path) is then a branch-free gather —
 // FillValues — with zero allocations.
+//
+// Concurrency: like *Matrix, all kernels are read-only on the operator
+// and safe for concurrent use; FillValues mutates the packed values and
+// must be serialized against every reader.
 type SELL struct {
 	rows, cols int
 	sigma      int
@@ -62,30 +66,41 @@ const SellC = 8
 // permutation stays local and the gathers from x keep their locality.
 const DefaultSellSigma = 4096
 
-// normalizeSigma clamps a requested sort scope to a usable one: at least
-// one chunk (the intra-chunk descending order is what makes active lanes
-// a prefix, so it can never be turned off) and a multiple of SellC (so
-// no chunk straddles two sort windows).
-func normalizeSigma(sigma int) int {
-	if sigma <= 0 {
-		sigma = DefaultSellSigma
+// CheckSigma validates a requested SELL sort scope: 0 selects the
+// default, and any explicit sigma must be a positive multiple of the
+// chunk size SellC — a scope below one chunk cannot exist (the
+// intra-chunk descending order is what makes active lanes a prefix),
+// and a scope that is not chunk-aligned would make a chunk straddle two
+// sort windows. Malformed scopes are a descriptive error rather than a
+// silent clamp, so a typo in a configuration surfaces instead of
+// quietly benchmarking a different layout.
+func CheckSigma(sigma int) error {
+	if sigma == 0 {
+		return nil
 	}
-	if sigma < SellC {
-		return SellC
+	if sigma < 0 || sigma%SellC != 0 {
+		return fmt.Errorf("sparse: SELL sigma %d: the sort scope must be a positive multiple of the chunk size C=%d (or 0 for the default %d)",
+			sigma, SellC, DefaultSellSigma)
 	}
-	return sigma - sigma%SellC
+	return nil
 }
 
 // NewSELL converts a CSR matrix to SELL-C-sigma. sigma is the sort scope
-// (0 selects DefaultSellSigma). The conversion is deterministic: the
-// length sort is stable, so ties keep row order. Matrices whose entry
-// count overflows the 32-bit replay schedule are rejected.
+// (0 selects DefaultSellSigma; any other value must be a positive
+// multiple of SellC, see CheckSigma). The conversion is deterministic:
+// the length sort is stable, so ties keep row order. Matrices whose
+// entry count overflows the 32-bit replay schedule are rejected.
 func NewSELL(a *Matrix, sigma int) (*SELL, error) {
+	if err := CheckSigma(sigma); err != nil {
+		return nil, err
+	}
 	if len(a.Col) > math.MaxInt32 || a.Rows > math.MaxInt32 {
 		return nil, fmt.Errorf("sparse: SELL conversion of %dx%d matrix with %d entries overflows the 32-bit entry schedule",
 			a.Rows, a.Cols, len(a.Col))
 	}
-	sigma = normalizeSigma(sigma)
+	if sigma == 0 {
+		sigma = DefaultSellSigma
+	}
 	n := a.Rows
 	s := &SELL{rows: n, cols: a.Cols, sigma: sigma}
 	s.perm = make([]int32, n)

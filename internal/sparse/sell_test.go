@@ -313,3 +313,29 @@ func TestNewOperatorDispatch(t *testing.T) {
 		}
 	}
 }
+
+// TestSELLRejectsMalformedSigma: negative or non-chunk-aligned sort
+// scopes are descriptive errors (0 stays the documented default), both
+// directly and through every NewOperator format path.
+func TestSELLRejectsMalformedSigma(t *testing.T) {
+	a := sellTestMatrix(64, 64)
+	for _, sigma := range []int{-1, -8, 3, SellC + 1, SellC*2 - 1} {
+		if sigma > 0 && sigma%SellC == 0 {
+			t.Fatalf("test bug: sigma %d is valid", sigma)
+		}
+		if _, err := NewSELL(a, sigma); err == nil {
+			t.Fatalf("NewSELL accepted sigma %d", sigma)
+		}
+		for _, f := range []Format{FormatAuto, FormatSELL} {
+			if _, err := NewOperator(a, f, sigma); err == nil {
+				t.Fatalf("NewOperator(%v) accepted sigma %d", f, sigma)
+			}
+		}
+	}
+	// Valid scopes still pass.
+	for _, sigma := range []int{0, SellC, 4 * SellC} {
+		if _, err := NewSELL(a, sigma); err != nil {
+			t.Fatalf("NewSELL rejected valid sigma %d: %v", sigma, err)
+		}
+	}
+}

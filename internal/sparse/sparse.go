@@ -16,6 +16,13 @@ import (
 
 // Matrix is a sparse matrix in CSR format. Column indices within a row are
 // sorted ascending for matrices that pass Validate.
+//
+// Concurrency: every kernel (SpMV and its fused variants, SpMM,
+// JacobiSweep, Diagonal, Graph, Transpose, Multiply/RAP) only reads the
+// matrix and writes caller-provided outputs, so any number of
+// goroutines may use one Matrix concurrently as long as none mutates
+// it — Scale, direct writes to Val, and plan Numeric/Replay calls
+// targeting the matrix must be serialized against all readers.
 type Matrix struct {
 	Rows, Cols int
 	RowPtr     []int   // length Rows+1
@@ -37,10 +44,17 @@ func (a *Matrix) Validate() error {
 	if a.RowPtr[0] != 0 || a.RowPtr[a.Rows] != len(a.Col) || len(a.Col) != len(a.Val) {
 		return errors.New("sparse: inconsistent RowPtr/Col/Val lengths")
 	}
+	// Validate the whole row-pointer array before scanning any entries:
+	// with a non-monotone RowPtr an earlier row's range can overrun
+	// len(Col) even though the final pointer checks out (e.g.
+	// RowPtr = [0, 3, 2] over 2 entries), so scanning as we check would
+	// panic on exactly the malformed input Validate exists to reject.
 	for i := 0; i < a.Rows; i++ {
 		if a.RowPtr[i] > a.RowPtr[i+1] {
 			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
 		}
+	}
+	for i := 0; i < a.Rows; i++ {
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			if a.Col[p] < 0 || int(a.Col[p]) >= a.Cols {
 				return fmt.Errorf("sparse: row %d has out-of-range column %d", i, a.Col[p])
@@ -911,6 +925,12 @@ func mergeUnsortedRow(entries []addEntry, colBuf []int32, valBuf []float64) ([]i
 }
 
 // Dense is a small dense matrix used for coarse-grid solves.
+//
+// Concurrency: Solve only reads the factorization (and writes the
+// caller's x), so concurrent Solve calls with distinct vectors are
+// safe. Factorize and FillFrom mutate Data and the reused pivot array
+// in place and must be serialized against every other method — a
+// re-factorization racing a Solve silently corrupts both.
 type Dense struct {
 	N    int
 	Data []float64 // row-major

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -278,5 +279,21 @@ func TestScaleZeroAndNegative(t *testing.T) {
 		if c.Val[i] != -a.Val[i] {
 			t.Fatal("scale -1 wrong")
 		}
+	}
+}
+
+// TestValidateRejectsNonMonotoneRowPtrWithoutPanic: a RowPtr whose
+// intermediate pointer overruns the entry arrays while the final one
+// checks out (e.g. [0, 3, 2] over 2 entries) must be a clean error —
+// the seed Validate scanned row 0's out-of-bounds range before reaching
+// row 1's monotonicity check and panicked on the very input it exists
+// to reject.
+func TestValidateRejectsNonMonotoneRowPtrWithoutPanic(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2,
+		RowPtr: []int{0, 3, 2}, Col: []int32{0, 1}, Val: []float64{2, 2}}
+	if err := a.Validate(); err == nil {
+		t.Fatal("non-monotone RowPtr accepted")
+	} else if !strings.Contains(err.Error(), "monotone") {
+		t.Fatalf("error not descriptive: %v", err)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"mis2go/internal/par"
 	"mis2go/internal/partition"
 	"mis2go/internal/schwarz"
+	"mis2go/internal/serve"
 	"mis2go/internal/sparse"
 )
 
@@ -143,6 +144,8 @@ func NewOperator(a *Matrix, format OperatorFormat) (Operator, error) {
 // SELLOperator converts a to SELL-C-sigma with an explicit sort scope
 // sigma (0 = default): rows are stably length-sorted within windows of
 // sigma rows so the chunked kernel pads nothing and streams linearly.
+// A sigma that is negative or not a multiple of the chunk size is a
+// descriptive error, never a silent clamp.
 func SELLOperator(a *Matrix, sigma int) (Operator, error) {
 	return sparse.NewSELL(a, sigma)
 }
@@ -159,13 +162,18 @@ func RCMOrder(a *Matrix) []int32 { return order.RCM(a.Graph()) }
 func PermuteMatrix(a *Matrix, perm []int32) (*Matrix, error) { return order.PermuteMatrix(a, perm) }
 
 // PermuteVector gathers src into the reordered numbering:
-// dst[new] = src[perm[new]].
-func PermuteVector(dst, src []float64, perm []int32) { order.PermuteVector(dst, src, perm) }
+// dst[new] = src[perm[new]]. Malformed permutations (length mismatch,
+// duplicate or out-of-range entries) return a descriptive error with
+// dst untouched.
+func PermuteVector(dst, src []float64, perm []int32) error {
+	return order.PermuteVector(dst, src, perm)
+}
 
 // InversePermuteVector scatters src back to the original numbering —
-// the exact (bitwise) inverse of PermuteVector.
-func InversePermuteVector(dst, src []float64, perm []int32) {
-	order.InversePermuteVector(dst, src, perm)
+// the exact (bitwise) inverse of PermuteVector, with the same
+// permutation validation.
+func InversePermuteVector(dst, src []float64, perm []int32) error {
+	return order.InversePermuteVector(dst, src, perm)
 }
 
 // Bandwidth returns max |i-j| over stored entries of a — the quantity
@@ -293,6 +301,45 @@ func SolveCGWith(a Operator, b, x []float64, tol float64, maxIter int, m Precond
 func SolveGMRESWith(a Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, threads int, ws *SolverWorkspace) (SolveStats, error) {
 	return krylov.GMRESWith(par.New(threads), a, b, x, tol, maxIter, restart, m, ws)
 }
+
+// SolveService is a concurrent solve service over the AMG+CG stack: an
+// LRU cache of hierarchies keyed by sparsity-pattern fingerprint (first
+// request per pattern builds, same-pattern/new-values requests pay only
+// the numeric Refresh, identical-values requests pay nothing), a small
+// batching window coalescing same-operator requests into one batched CG
+// call, per-pattern single-flight locking, and bounded in-flight
+// admission. Safe for concurrent use by any number of goroutines;
+// served results are bitwise identical to sequential single-caller
+// solves. See NewSolveService.
+type SolveService = serve.Service
+
+// ServeConfig configures NewSolveService; the zero value serves with
+// defaults (1e-8 tolerance, 8 cached hierarchies, 200µs batching
+// window, 8-wide batches, 4×GOMAXPROCS in-flight requests).
+type ServeConfig = serve.Config
+
+// ServeRequestStats reports what one served request paid (cache
+// outcome, coalesced batch width) and its per-column solver stats.
+type ServeRequestStats = serve.RequestStats
+
+// ServeMetrics is a snapshot of a SolveService's counters.
+type ServeMetrics = serve.Metrics
+
+// ServeOutcome labels what a request paid at the hierarchy cache.
+type ServeOutcome = serve.Outcome
+
+// Cache outcomes of a served request.
+const (
+	ServeOutcomeBuild     = serve.OutcomeBuild
+	ServeOutcomeRefresh   = serve.OutcomeRefresh
+	ServeOutcomeReuse     = serve.OutcomeReuse
+	ServeOutcomeCollision = serve.OutcomeCollision
+)
+
+// NewSolveService returns a concurrent solve service. Submit requests
+// with Solve (one right-hand side) or SolveBatch (several against one
+// matrix); read counters with Metrics.
+func NewSolveService(cfg ServeConfig) *SolveService { return serve.New(cfg) }
 
 // GaussSeidel is a multicolor Gauss-Seidel operator (point or cluster).
 type GaussSeidel = gs.Multicolor
