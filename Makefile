@@ -4,7 +4,9 @@
 # BENCH_PR$(PR).json with current numbers joined against $(BASELINE)
 # (BENCH_SEED.json by default; pass BASELINE=BENCH_PR1.json to measure a
 # PR against its predecessor), including per-benchmark speedups and the
-# derived SpMM-vs-separate-SpMV ratio.
+# derived SpMM-vs-separate-SpMV ratio. The run fails when any derived
+# ratio drops more than $(MAXDROP)% below the baseline's recorded ratio
+# (set MAXDROP=0 to disable the regression gate).
 #
 # `make check` is the CI gate: vet everything, then run the determinism
 # suite under the race detector (the worker-pool synchronization and the
@@ -12,6 +14,11 @@
 
 PR ?= 1
 BASELINE ?= BENCH_SEED.json
+MAXDROP ?= 10
+# Each benchmark runs BENCHCOUNT times and benchjson keeps the fastest
+# repeat — scheduler/thermal noise only adds time, so min-of-N is what
+# makes the $(MAXDROP) gate comparable across runs.
+BENCHCOUNT ?= 3
 BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves'
 
 .PHONY: all build test race bench check
@@ -29,15 +36,16 @@ race:
 
 check:
 	go vet ./...
-	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress' ./...
+	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel' ./...
 
 bench:
-	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=1 . \
+	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=$(BENCHCOUNT) . \
 		| go run ./cmd/benchjson -baseline $(BASELINE) -label pr$(PR) \
 			-ratio SpMM8_vs_8xSpMV=SpMV8Separate/SpMM8 \
 			-ratio Resetup_vs_FullSetup=AMGBuild/AMGRefresh \
 			-ratio SELL_vs_CSR=SpMVHot/SpMVSELL \
 			-ratio Serve_vs_SequentialSolves=SequentialSolves/ServeThroughput \
+			-maxdrop $(MAXDROP) \
 			-out BENCH_PR$(PR).json
 
 # benchsmoke runs every benchmark once (no timing fidelity) so the bench

@@ -1,27 +1,47 @@
 // Command amgserve exposes the concurrent solve service over HTTP: a
 // JSON solve endpoint backed by the fingerprint-keyed hierarchy cache
-// and request-coalescing batcher, plus a plaintext metrics endpoint.
+// and request-coalescing batcher, plus plaintext metrics and lifecycle
+// probes.
 //
 //	amgserve -addr :8080 &
 //	curl -s localhost:8080/solve -d '{"rows":2,"rowptr":[0,1,2],"col":[0,1],"val":[4,4],"b":[1,2]}'
 //	curl -s localhost:8080/metrics
 //
-// POST /solve accepts a CSR matrix with one right-hand side ("b") or
-// several ("bs") and returns the solution(s), per-column solver stats,
-// and what the request paid at the hierarchy cache ("build", "refresh",
-// "reuse", or "collision"). Repeated solves with the same sparsity
-// pattern pay only a numeric refresh; identical matrices pay nothing;
-// concurrent requests against one operator are coalesced into batched
-// CG solves (watch amgserve_batched_rhs_ratio).
+// Endpoints:
+//
+//   - POST /solve accepts a CSR matrix with one right-hand side ("b")
+//     or several ("bs") and returns the solution(s), per-column solver
+//     stats, and what the request paid at the hierarchy cache ("build",
+//     "refresh", "reuse", or "collision"). Repeated solves with the
+//     same sparsity pattern pay only a numeric refresh; identical
+//     matrices pay nothing; concurrent requests against one operator
+//     are coalesced into batched CG solves (watch
+//     amgserve_batched_rhs_ratio).
+//   - GET /metrics returns plaintext counters.
+//   - GET /healthz is liveness: 200 for as long as the process runs.
+//   - GET /readyz is readiness: 200 while accepting traffic, 503 once
+//     draining.
+//
+// Lifecycle: on SIGTERM or SIGINT the server flips /readyz to 503,
+// rejects new /solve requests with 503 + Retry-After, lets in-flight
+// solves finish (bounded by -drain-timeout), then exits. Cancellation
+// is honored end to end: a client that disconnects mid-solve has its
+// context propagated into the CG iteration loop and AMG setup, so the
+// work stops instead of running to completion for nobody.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mis2go/internal/amg"
@@ -65,6 +85,17 @@ type solveResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// app is the HTTP layer over the solve service plus the lifecycle
+// state the probes and drain sequence read.
+type app struct {
+	svc     *serve.Service
+	maxBody int64
+	// draining flips once, on the shutdown signal: /readyz goes 503 so
+	// load balancers stop routing here, and new /solve admissions are
+	// refused with Retry-After while in-flight work finishes.
+	draining atomic.Bool
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 8, "hierarchy cache capacity (distinct sparsity patterns)")
@@ -75,6 +106,7 @@ func main() {
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 500, "CG iteration cap")
 	threads := flag.Int("threads", 0, "solver worker count, 0 = all cores")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight solves after SIGTERM before forcing exit")
 	flag.Parse()
 
 	svc := serve.New(serve.Config{
@@ -87,39 +119,102 @@ func main() {
 		MaxInFlight:   *inflight,
 		Threads:       *threads,
 	})
-	mux := newMux(svc, *maxBody)
+	ap := &app{svc: svc, maxBody: *maxBody}
 	log.Printf("amgserve listening on %s (cache %d, window %v, maxbatch %d)", *addr, *cache, *window, *maxBatch)
 	// Explicit server timeouts: a public solve endpoint must not let
 	// slow or stalled clients pin connection goroutines forever (the
 	// write timeout is generous — solutions for large systems are big).
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           ap.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(srv.ListenAndServe())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(srv, ap, sig, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
 }
 
-// newMux wires the service handlers; split from main for tests.
-// maxBody bounds the /solve request body so an oversized (or malicious)
-// upload fails fast instead of buffering gigabytes before validation.
-func newMux(svc *serve.Service, maxBody int64) *http.ServeMux {
+// run serves until the listener fails or a shutdown signal arrives,
+// then drains: readiness goes down first, new admissions are refused,
+// and http.Server.Shutdown waits for in-flight requests up to
+// drainTimeout. http.ErrServerClosed is the clean-shutdown sentinel,
+// never an error. Split from main so tests can drive the sequence.
+func run(srv *http.Server, ap *app, sig <-chan os.Signal, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("amgserve: serve: %w", err)
+	case s := <-sig:
+		log.Printf("amgserve: %v: draining (readiness down, finishing in-flight, limit %v)", s, drainTimeout)
+		ap.draining.Store(true)
+		// Keep accepting connections briefly after readiness flips:
+		// Shutdown closes the listener immediately, so without this
+		// window load balancers see connection-refused instead of the
+		// 503 + Retry-After the probes and rejections exist to provide.
+		grace := 500 * time.Millisecond
+		if drainTimeout < 4*grace {
+			grace = drainTimeout / 4
+		}
+		time.Sleep(grace)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if serr := <-errc; err == nil && !errors.Is(serr, http.ErrServerClosed) {
+			err = serr
+		}
+		if err != nil {
+			return fmt.Errorf("amgserve: drain: %w", err)
+		}
+		log.Printf("amgserve: drained cleanly")
+		return nil
+	}
+}
+
+// mux wires the service and lifecycle handlers.
+func (ap *app) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) { handleSolve(svc, w, r, maxBody) })
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, w) })
+	mux.HandleFunc("/solve", ap.handleSolve)
+	mux.HandleFunc("/metrics", ap.handleMetrics)
+	mux.HandleFunc("/healthz", ap.handleHealthz)
+	mux.HandleFunc("/readyz", ap.handleReadyz)
 	return mux
 }
 
-func handleSolve(svc *serve.Service, w http.ResponseWriter, r *http.Request, maxBody int64) {
+// newMux wires handlers over a service with the given body cap; split
+// from main for tests. maxBody bounds the /solve request body so an
+// oversized (or malicious) upload fails fast instead of buffering
+// gigabytes before validation.
+func newMux(svc *serve.Service, maxBody int64) *http.ServeMux {
+	return (&app{svc: svc, maxBody: maxBody}).mux()
+}
+
+// retryAfter marks a response as retryable-elsewhere: drain rejections
+// and backpressure/cancellation failures are transient by construction.
+func retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+}
+
+func (ap *app) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a solve request", http.StatusMethodNotAllowed)
 		return
 	}
+	if ap.draining.Load() {
+		retryAfter(w)
+		http.Error(w, "amgserve: draining, not accepting new solves", http.StatusServiceUnavailable)
+		return
+	}
 	var req solveRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, ap.maxBody))
 	if err := dec.Decode(&req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
@@ -129,15 +224,22 @@ func handleSolve(svc *serve.Service, w http.ResponseWriter, r *http.Request, max
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	xs, stats, err := svc.SolveBatch(r.Context(), a, bs)
+	xs, stats, err := ap.svc.SolveBatch(r.Context(), a, bs)
 	if err != nil && len(xs) == 0 {
 		// Request-shaped failures (bad matrix, unbuildable hierarchy,
-		// canceled admission) have no partial result to report.
+		// canceled or timed-out work) have no partial result to report.
+		// Cancellation is classified from the error chain itself, not
+		// from r.Context().Err(): a 422-class failure that merely races
+		// a client disconnect must not be relabeled as retryable.
 		status := http.StatusUnprocessableEntity
 		switch {
 		case errors.Is(err, serve.ErrBadRequest):
 			status = http.StatusBadRequest
-		case r.Context().Err() != nil:
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Canceled admission (backpressure), a canceled coalescing
+			// wait, or a cancel that reached the iteration loop: the
+			// work was cut short, not rejected — safe to retry.
+			retryAfter(w)
 			status = http.StatusServiceUnavailable
 		}
 		http.Error(w, err.Error(), status)
@@ -186,11 +288,13 @@ func (req *solveRequest) system() (*sparse.Matrix, [][]float64, error) {
 	return a, bs, nil
 }
 
-func handleMetrics(svc *serve.Service, w http.ResponseWriter) {
-	m := svc.Metrics()
+func (ap *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := ap.svc.Metrics()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "amgserve_requests_total %d\n", m.Requests)
 	fmt.Fprintf(w, "amgserve_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "amgserve_canceled_total %d\n", m.Canceled)
+	fmt.Fprintf(w, "amgserve_panics_total %d\n", m.Panics)
 	fmt.Fprintf(w, "amgserve_cache_builds_total %d\n", m.Builds)
 	fmt.Fprintf(w, "amgserve_cache_refreshes_total %d\n", m.Refreshes)
 	fmt.Fprintf(w, "amgserve_cache_hits_total %d\n", m.ValueHits)
@@ -199,4 +303,25 @@ func handleMetrics(svc *serve.Service, w http.ResponseWriter) {
 	fmt.Fprintf(w, "amgserve_batch_solves_total %d\n", m.BatchSolves)
 	fmt.Fprintf(w, "amgserve_batched_rhs_total %d\n", m.BatchedRHS)
 	fmt.Fprintf(w, "amgserve_batched_rhs_ratio %.3f\n", m.BatchedRHSRatio())
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It
+// stays 200 through a drain — restarting a draining process would cut
+// off exactly the in-flight work the drain exists to protect.
+func (ap *app) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while accepting new solves, 503 once
+// draining so load balancers route new traffic elsewhere.
+func (ap *app) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ap.draining.Load() {
+		retryAfter(w)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }

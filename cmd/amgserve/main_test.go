@@ -168,6 +168,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"amgserve_requests_total 2",
 		"amgserve_cache_builds_total 1",
 		"amgserve_cache_hits_total 1",
+		"amgserve_canceled_total 0",
+		"amgserve_panics_total 0",
 		"amgserve_batched_rhs_ratio",
 	} {
 		if !strings.Contains(out, want) {

@@ -1,9 +1,12 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
 // into the BENCH_*.json perf-trajectory format, optionally joining a
 // baseline file so each benchmark records before/after numbers and the
-// speedup. Used by `make bench`:
+// speedup. With -maxdrop it is also the perf-regression gate: any
+// derived ratio that fell more than the given percentage below the
+// baseline's ratio fails the run (after writing the output, so the
+// numbers behind the failure are on disk). Used by `make bench`:
 //
-//	go test -run '^$' -bench ... -benchmem . | benchjson -baseline BENCH_SEED.json -out BENCH_PR1.json
+//	go test -run '^$' -bench ... -benchmem . | benchjson -baseline BENCH_PR5.json -maxdrop 10 -out BENCH_PR6.json
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -64,6 +68,7 @@ func main() {
 	label := flag.String("label", "current", "label recorded in the output")
 	var ratios ratioFlags
 	flag.Var(&ratios, "ratio", "derived ratio NAME=NUM/DEN of two benchmarks' ns/op (repeatable)")
+	maxDrop := flag.Float64("maxdrop", 0, "fail when a derived ratio drops more than this percent below the baseline's (0 disables the gate)")
 	flag.Parse()
 
 	cur, procs, err := parseBench(os.Stdin)
@@ -77,8 +82,9 @@ func main() {
 	}
 
 	var base map[string]Metrics
+	var baseRatios map[string]float64
 	if *baseline != "" {
-		base, err = readBaseline(*baseline)
+		base, baseRatios, err = readBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -120,34 +126,72 @@ func main() {
 	}
 	if *out == "" {
 		fmt.Println(string(enc))
-		return
+	} else {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(f.Benchmarks))
+		for n := range f.Benchmarks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			e := f.Benchmarks[n]
+			if e.Seed != nil {
+				fmt.Printf("%-28s %12.0f ns/op  (seed %12.0f, %.2fx)\n", n, e.Cur.NsPerOp, e.Seed.NsPerOp, e.Speedup)
+			} else {
+				fmt.Printf("%-28s %12.0f ns/op\n", n, e.Cur.NsPerOp)
+			}
+		}
+		rnames := make([]string, 0, len(f.Ratios))
+		for n := range f.Ratios {
+			rnames = append(rnames, n)
+		}
+		sort.Strings(rnames)
+		for _, n := range rnames {
+			fmt.Printf("ratio %-28s %.2fx\n", n, f.Ratios[n])
+		}
+		fmt.Println("wrote", *out)
 	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+
+	// The regression gate runs last, after the output file exists: a
+	// failed gate should leave the numbers behind it on disk.
+	if drops := ratioDrops(f.Ratios, baseRatios, *maxDrop); len(drops) > 0 {
+		for _, d := range drops {
+			fmt.Fprintln(os.Stderr, "benchjson:", d)
+		}
 		os.Exit(1)
 	}
-	names := make([]string, 0, len(f.Benchmarks))
-	for n := range f.Benchmarks {
+}
+
+// ratioDrops compares the derived ratios against the baseline's and
+// reports every one that fell more than maxDrop percent. Ratios only
+// one side defines are skipped: a new ratio has no history to regress
+// against, and a retired one is a definition change, not a slowdown.
+func ratioDrops(cur, base map[string]float64, maxDrop float64) []string {
+	if maxDrop <= 0 {
+		return nil
+	}
+	names := make([]string, 0, len(cur))
+	for n := range cur {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	var drops []string
 	for _, n := range names {
-		e := f.Benchmarks[n]
-		if e.Seed != nil {
-			fmt.Printf("%-28s %12.0f ns/op  (seed %12.0f, %.2fx)\n", n, e.Cur.NsPerOp, e.Seed.NsPerOp, e.Speedup)
-		} else {
-			fmt.Printf("%-28s %12.0f ns/op\n", n, e.Cur.NsPerOp)
+		b, ok := base[n]
+		if !ok || b <= 0 {
+			continue
+		}
+		drop := (b - cur[n]) / b * 100
+		if drop > maxDrop {
+			drops = append(drops, fmt.Sprintf(
+				"ratio %s regressed %.1f%% (baseline %.3fx, current %.3fx, gate %.0f%%)",
+				n, drop, b, cur[n], maxDrop))
 		}
 	}
-	rnames := make([]string, 0, len(f.Ratios))
-	for n := range f.Ratios {
-		rnames = append(rnames, n)
-	}
-	sort.Strings(rnames)
-	for _, n := range rnames {
-		fmt.Printf("ratio %-28s %.2fx\n", n, f.Ratios[n])
-	}
-	fmt.Println("wrote", *out)
+	return drops
 }
 
 func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
@@ -195,7 +239,12 @@ func parseRatio(def string, cur map[string]Metrics) (name string, num, den float
 // output. Lines look like:
 //
 //	BenchmarkName      556   2203845 ns/op   934240 B/op   15232 allocs/op
-func parseBench(src *os.File) (map[string]Metrics, int, error) {
+//
+// Repeated lines for one benchmark (`go test -count=N`) keep the
+// fastest run: scheduler and thermal noise only ever add time, so the
+// minimum is the most repeatable estimate — which the -maxdrop gate
+// needs to compare runs without tripping on a single slow repetition.
+func parseBench(src io.Reader) (map[string]Metrics, int, error) {
 	res := map[string]Metrics{}
 	procs := 0
 	sc := bufio.NewScanner(src)
@@ -230,22 +279,25 @@ func parseBench(src *os.File) (map[string]Metrics, int, error) {
 			}
 		}
 		if m.NsPerOp > 0 {
-			res[name] = m
+			if prev, ok := res[name]; !ok || m.NsPerOp < prev.NsPerOp {
+				res[name] = m
+			}
 		}
 	}
 	return res, procs, sc.Err()
 }
 
 // readBaseline accepts a previous benchjson file and returns its
-// current-column metrics keyed by benchmark name.
-func readBaseline(path string) (map[string]Metrics, error) {
+// current-column metrics keyed by benchmark name, plus its derived
+// ratios for the -maxdrop regression gate.
+func readBaseline(path string) (map[string]Metrics, map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	out := map[string]Metrics{}
 	for name, e := range f.Benchmarks {
@@ -253,7 +305,7 @@ func readBaseline(path string) (map[string]Metrics, error) {
 			out[name] = *e.Cur
 		}
 	}
-	return out, nil
+	return out, f.Ratios, nil
 }
 
 // marshalStable renders the file with sorted benchmark keys.

@@ -41,6 +41,65 @@ func TestParseRatioMissingBenchmark(t *testing.T) {
 	}
 }
 
+// TestParseBenchKeepsFastestRepeat: with `go test -count=N` each
+// benchmark appears N times; the minimum ns/op wins (noise only adds
+// time), so the -maxdrop gate compares repeatable numbers.
+func TestParseBenchKeepsFastestRepeat(t *testing.T) {
+	out := strings.NewReader(`
+BenchmarkServeThroughput-8      8   158000000 ns/op   2200000 B/op   440 allocs/op
+BenchmarkServeThroughput-8      8   131000000 ns/op   2100000 B/op   430 allocs/op
+BenchmarkServeThroughput-8      8   140000000 ns/op   2300000 B/op   450 allocs/op
+BenchmarkSpMVHot-8           5000      300000 ns/op
+`)
+	cur, procs, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs != 8 {
+		t.Fatalf("procs %d, want 8", procs)
+	}
+	m := cur["ServeThroughput"]
+	if m.NsPerOp != 131000000 || m.BytesPerOp != 2100000 || m.AllocsPerOp != 430 {
+		t.Fatalf("kept %+v, want the fastest repeat (131ms run)", m)
+	}
+	if cur["SpMVHot"].NsPerOp != 300000 {
+		t.Fatalf("single-run benchmark mangled: %+v", cur["SpMVHot"])
+	}
+}
+
+// TestRatioDrops: the -maxdrop gate flags ratios that regressed past
+// the threshold, tolerates ones within it, and skips ratios without a
+// baseline counterpart (new or retired definitions are not slowdowns).
+func TestRatioDrops(t *testing.T) {
+	base := map[string]float64{
+		"Serve_vs_Sequential": 4.0,
+		"SELL_vs_CSR":         1.5,
+		"Retired":             2.0,
+	}
+	cur := map[string]float64{
+		"Serve_vs_Sequential": 3.0, // -25%: over a 10% gate
+		"SELL_vs_CSR":         1.4, // -6.7%: within it
+		"Brand_New":           9.9, // no history
+	}
+	drops := ratioDrops(cur, base, 10)
+	if len(drops) != 1 {
+		t.Fatalf("got %d drops, want 1: %v", len(drops), drops)
+	}
+	for _, want := range []string{"Serve_vs_Sequential", "25.0%", "4.000x", "3.000x"} {
+		if !strings.Contains(drops[0], want) {
+			t.Fatalf("drop report %q missing %q", drops[0], want)
+		}
+	}
+	// Gate disabled: nothing fails no matter how far ratios fell.
+	if drops := ratioDrops(cur, base, 0); drops != nil {
+		t.Fatalf("disabled gate still reported %v", drops)
+	}
+	// Improvement never trips the gate.
+	if drops := ratioDrops(map[string]float64{"SELL_vs_CSR": 2.0}, base, 10); drops != nil {
+		t.Fatalf("improved ratio reported as a drop: %v", drops)
+	}
+}
+
 func TestParseRatioMalformed(t *testing.T) {
 	cur := map[string]Metrics{"X": {NsPerOp: 1}}
 	for _, def := range []string{"noequals", "name=noslash"} {

@@ -8,6 +8,7 @@
 package amg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,28 @@ import (
 	"mis2go/internal/par"
 	"mis2go/internal/sparse"
 )
+
+// ErrCanceled is wrapped by every setup error caused by a canceled
+// context (alongside the context's cause, so errors.Is also matches
+// context.Canceled / context.DeadlineExceeded). The Ctx setup variants
+// check between levels: a cancellation caught before the numeric phase
+// mutates anything leaves the previous numeric state fully usable, while
+// one caught between level replays invalidates the hierarchy exactly
+// like any other mid-replay failure (Valid reports false).
+var ErrCanceled = errors.New("amg: setup canceled")
+
+// ctxErr reports the context's cancellation state; nil contexts never
+// cancel (the context-free entry points pass nil).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func cancelAt(ctx context.Context, phase string, level int) error {
+	return fmt.Errorf("%w: %s stopped before level %d: %w", ErrCanceled, phase, level, context.Cause(ctx))
+}
 
 // AggregateFunc produces an aggregation of the given matrix graph.
 type AggregateFunc func(g *graph.CSR) coarsen.Aggregation
@@ -226,11 +249,19 @@ func addInto(rt *par.Runtime, x, d []float64) {
 // radii, plan replays, the coarse factorization). The split produces
 // hierarchies bitwise identical to the seed's fused construction.
 func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
-	h, err := BuildSymbolic(a, opt)
+	return BuildCtx(nil, a, opt)
+}
+
+// BuildCtx is Build with cooperative cancellation, checked between
+// levels of both setup phases. A canceled build returns an error
+// wrapping ErrCanceled (and the context's cause) and no hierarchy; no
+// partially built hierarchy escapes. ctx may be nil (never cancels).
+func BuildCtx(ctx context.Context, a *sparse.Matrix, opt Options) (*Hierarchy, error) {
+	h, err := BuildSymbolicCtx(ctx, a, opt)
 	if err != nil {
 		return nil, err
 	}
-	if err := h.BuildNumeric(a); err != nil {
+	if err := h.BuildNumericCtx(ctx, a); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -244,6 +275,13 @@ func Build(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 // storage. The returned hierarchy is not usable until BuildNumeric fills
 // in the values; a's values are read only by the initial Validate.
 func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
+	return BuildSymbolicCtx(nil, a, opt)
+}
+
+// BuildSymbolicCtx is BuildSymbolic with cooperative cancellation,
+// checked once per level before that level's aggregation and plan
+// construction. ctx may be nil (never cancels).
+func BuildSymbolicCtx(ctx context.Context, a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 	opt = opt.withDefaults()
 	if a.Rows != a.Cols {
 		return nil, errors.New("amg: matrix must be square")
@@ -269,6 +307,9 @@ func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 
 	cur := a
 	for level := 0; ; level++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, cancelAt(ctx, "symbolic setup", level)
+		}
 		l := &Level{A: cur}
 		lp := &levelPlan{}
 		l.dinv = make([]float64, cur.Rows)
@@ -353,6 +394,15 @@ func BuildSymbolic(a *sparse.Matrix, opt Options) (*Hierarchy, error) {
 // differ. Calling BuildNumeric again — or Refresh, its alias with
 // re-setup semantics — replays the numeric phase in place.
 func (h *Hierarchy) BuildNumeric(a *sparse.Matrix) error {
+	return h.BuildNumericCtx(nil, a)
+}
+
+// BuildNumericCtx is BuildNumeric with cooperative cancellation, checked
+// once before the replay mutates anything (the previous numeric state,
+// if any, stays fully usable) and then between level replays (a cancel
+// there invalidates the hierarchy exactly like any other mid-replay
+// failure). ctx may be nil (never cancels).
+func (h *Hierarchy) BuildNumericCtx(ctx context.Context, a *sparse.Matrix) error {
 	if err := h.checkSamePattern(a); err != nil {
 		return err
 	}
@@ -363,7 +413,7 @@ func (h *Hierarchy) BuildNumeric(a *sparse.Matrix) error {
 	if err := h.validateValues(a, false); err != nil {
 		return err
 	}
-	return h.numeric(a)
+	return h.numeric(ctx, a)
 }
 
 // Refresh re-runs the numeric setup phase for a matrix with the same
@@ -388,13 +438,23 @@ func (h *Hierarchy) BuildNumeric(a *sparse.Matrix) error {
 // false) and Precondition/Solve panic until a subsequent Refresh or
 // BuildNumeric succeeds.
 func (h *Hierarchy) Refresh(a *sparse.Matrix) error {
+	return h.RefreshCtx(nil, a)
+}
+
+// RefreshCtx is Refresh with cooperative cancellation, with the same
+// two-zone semantics as BuildNumericCtx: a cancel caught before the
+// replay touches level state is one more pre-mutation rejection (the
+// previous operator stays fully usable, Valid unchanged), while a
+// cancel between level replays invalidates the hierarchy like any other
+// mid-replay failure. ctx may be nil (never cancels).
+func (h *Hierarchy) RefreshCtx(ctx context.Context, a *sparse.Matrix) error {
 	if err := h.checkSamePattern(a); err != nil {
 		return err
 	}
 	if err := h.validateValues(a, h.valid); err != nil {
 		return err
 	}
-	return h.numeric(a)
+	return h.numeric(ctx, a)
 }
 
 // checkSamePattern verifies that a matches the symbolic phase's fine
@@ -447,12 +507,23 @@ func (h *Hierarchy) validateValues(a *sparse.Matrix, checkSign bool) error {
 // numeric fills every value-dependent piece of the hierarchy from a,
 // replaying the cached plans level by level. Any error leaves the
 // hierarchy invalidated (mid-replay state is inconsistent) until a
-// subsequent numeric pass succeeds.
-func (h *Hierarchy) numeric(a *sparse.Matrix) error {
+// subsequent numeric pass succeeds — except a cancellation caught by
+// the entry check, which returns before anything is touched.
+func (h *Hierarchy) numeric(ctx context.Context, a *sparse.Matrix) error {
+	if err := ctxErr(ctx); err != nil {
+		// Pre-mutation: the previous numeric state (if any) is untouched
+		// and fully usable; h.valid is deliberately left as-is.
+		return cancelAt(ctx, "numeric setup", 0)
+	}
 	rt := h.rt
 	h.valid = false
 	h.Levels[0].A = a
 	for level, l := range h.Levels {
+		if level > 0 {
+			if err := ctxErr(ctx); err != nil {
+				return cancelAt(ctx, "numeric setup", level)
+			}
+		}
 		cur := l.A
 		// Refresh the level's apply-side operator: SELL levels gather the
 		// new values through the cached entry schedule; CSR levels just

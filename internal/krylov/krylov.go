@@ -12,6 +12,7 @@
 package krylov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,6 +92,34 @@ type Stats struct {
 
 // ErrNotConverged is wrapped by solvers that hit the iteration limit.
 var ErrNotConverged = errors.New("krylov: did not converge")
+
+// ErrCanceled is wrapped by the *Ctx solvers when their context is
+// canceled mid-solve. The returned error also wraps the context's cause
+// (context.Canceled or context.DeadlineExceeded), so callers can use
+// errors.Is against either sentinel. On cancellation x holds the current
+// iterate — a partial, unconverged solution — and Stats reports the
+// iteration count and the cheapest available residual estimate (the
+// recurrence residual; no extra matrix-vector product is spent on a
+// result nobody wants).
+var ErrCanceled = errors.New("krylov: solve canceled")
+
+// ctxDone reports the context's cancellation error, treating nil as
+// context.Background(). The check is one mutex-free load for the
+// background context and one short mutex hold for a real cancel context —
+// invisible next to the matrix traversal every iteration performs.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// cancelErr builds the canceled-solve error for a solver that stopped
+// after iters iterations with relative recurrence residual rel.
+func cancelErr(ctx context.Context, name string, iters int, rel float64) error {
+	return fmt.Errorf("%w: %s stopped after %d iterations (recurrence relres %.3e): %w",
+		ErrCanceled, name, iters, rel, context.Cause(ctx))
+}
 
 // dot computes the inner product with a 4-way unrolled dual-accumulator
 // loop. The summation order is a fixed function of the vector length, so
@@ -224,6 +253,17 @@ func CG(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter
 // the same Workspace perform no allocations. ws may be nil, in which
 // case a temporary workspace is allocated.
 func CGWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
+	return CGCtx(context.Background(), rt, a, b, x, tol, maxIter, m, ws)
+}
+
+// CGCtx is CGWith with cooperative cancellation: the context is checked
+// once before the setup products and at the top of every iteration, so a
+// canceled caller stops paying for matrix traversals within one
+// iteration. Cancellation returns an error wrapping ErrCanceled (and the
+// context's cause); x then holds the partial iterate. The checks never
+// change the arithmetic: with an uncanceled context the solve is bitwise
+// identical to CGWith. ctx may be nil (treated as context.Background()).
+func CGCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
 	n, _ := a.Dims()
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: CG size mismatch (n=%d, len(b)=%d, len(x)=%d)", n, len(b), len(x))
@@ -260,6 +300,9 @@ func CGWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, max
 		}
 		return Stats{Iterations: 0, RelResidual: 0, Converged: true}, nil
 	}
+	if err := ctxDone(ctx); err != nil {
+		return Stats{}, cancelErr(ctx, "CG", 0, math.Inf(1))
+	}
 
 	a.SpMV(rt, x, r)
 	// rr accumulates ||r||^2 with a single accumulator in index order —
@@ -281,6 +324,10 @@ func CGWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, max
 		if math.Sqrt(rr)/bnorm < tol {
 			met = true
 			break
+		}
+		if err := ctxDone(ctx); err != nil {
+			rel := math.Sqrt(rr) / bnorm
+			return Stats{Iterations: iters, RelResidual: rel}, cancelErr(ctx, "CG", iters, rel)
 		}
 		a.SpMV(rt, p, ap)
 		pap := dot(p, ap)
@@ -327,6 +374,17 @@ func GMRES(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxI
 // GMRESWith is GMRES with a caller-provided Workspace; repeated solves
 // through the same Workspace perform no allocations. ws may be nil.
 func GMRESWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
+	return GMRESCtx(context.Background(), rt, a, b, x, tol, maxIter, restart, m, ws)
+}
+
+// GMRESCtx is GMRESWith with cooperative cancellation, checked at the
+// top of every inner (Arnoldi) iteration. On cancellation x holds the
+// iterate of the last *completed* restart cycle — the in-progress
+// cycle's correction is discarded, not applied half-built — and the
+// reported residual is the recurrence estimate of that unfinished cycle.
+// With an uncanceled context the solve is bitwise identical to
+// GMRESWith. ctx may be nil (treated as context.Background()).
+func GMRESCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
 	n, _ := a.Dims()
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: GMRES size mismatch")
@@ -413,6 +471,13 @@ func GMRESWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, 
 
 		k := 0
 		for ; k < restart && totalIters < maxIter; k++ {
+			if err := ctxDone(ctx); err != nil {
+				// Abandon the unfinished cycle: x still holds the iterate
+				// from the last completed one (the correction is only
+				// applied after the inner loop).
+				rel := math.Abs(s[k]) / zbnorm
+				return Stats{Iterations: totalIters, RelResidual: rel}, cancelErr(ctx, "GMRES", totalIters, rel)
+			}
 			totalIters++
 			// w = M^{-1} A v_k
 			a.SpMV(rt, v[k], w)
@@ -531,6 +596,18 @@ func preconditionBatch(m Preconditioner, r, z []float64, n, k int, rc, zc []floa
 // returned Stats slice (one entry per column) is owned by the workspace
 // and overwritten by the next batch solve through it. ws may be nil.
 func CGBatchWith(rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
+	return CGBatchCtx(context.Background(), rt, a, b, x, k, tol, maxIter, m, ws)
+}
+
+// CGBatchCtx is CGBatchWith with cooperative cancellation, checked once
+// before the setup products and at the top of every iteration. On
+// cancellation every still-active column reports its iteration count and
+// recurrence residual (Converged false), columns frozen earlier keep
+// their recurrence result (like the breakdown path), and the error wraps
+// ErrCanceled plus the context's cause. With an uncanceled context the
+// solve is bitwise identical to CGBatchWith. ctx may be nil (treated as
+// context.Background()).
+func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
 	n, _ := a.Dims()
 	if k <= 0 {
 		return nil, fmt.Errorf("krylov: CGBatch needs k >= 1, got %d", k)
@@ -596,6 +673,15 @@ func CGBatchWith(rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol 
 		}
 	}
 
+	if err := ctxDone(ctx); err != nil {
+		for j := 0; j < k; j++ {
+			if act[j] {
+				stats[j] = Stats{Iterations: 0, RelResidual: math.Inf(1)}
+			}
+		}
+		return stats, cancelErr(ctx, "CGBatch", 0, math.Inf(1))
+	}
+
 	// r = b - A x with per-column rr in the same pass.
 	a.SpMM(rt, k, x, r)
 	for j := 0; j < k; j++ {
@@ -636,6 +722,25 @@ func CGBatchWith(rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol 
 		}
 		if nActive == 0 {
 			break
+		}
+		if err := ctxDone(ctx); err != nil {
+			// Mirror the breakdown path: active columns report their
+			// recurrence residual unconverged; columns frozen by the
+			// convergence test keep their recurrence result.
+			worst := 0.0
+			for q := 0; q < k; q++ {
+				if act[q] {
+					stats[q].Iterations = iters
+					stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
+					if stats[q].RelResidual > worst {
+						worst = stats[q].RelResidual
+					}
+				} else if !stats[q].Converged {
+					stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
+					stats[q].Converged = true
+				}
+			}
+			return stats, cancelErr(ctx, "CGBatch", iters, worst)
 		}
 		a.SpMM(rt, k, p, ap)
 		for j := 0; j < k; j++ {

@@ -1,0 +1,150 @@
+// Package leakcheck is a stdlib-only goroutine-leak assertion for
+// tests: capture a baseline of live goroutines, run the scenario, then
+// check that every goroutine born since has exited. Fault-injection
+// stress tests lean on it — a batch follower stranded on a condition
+// variable or a forgotten context.AfterFunc shows up here as a leaked
+// stack, with the full trace in the failure message.
+//
+// Identification is by goroutine ID from the runtime stack dump, so
+// pre-existing goroutines (the test runner, timers) never false-
+// positive, and an allowlist covers goroutines that are designed to
+// outlive any one test — the process-wide solver worker pool above all.
+// A settle loop re-checks for a short grace period before failing:
+// goroutines that have logically finished may not have been descheduled
+// yet when the test body returns.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// defaultAllow matches goroutines that legitimately outlive a test; a
+// dump block containing any of these substrings is never a leak.
+var defaultAllow = []string{
+	// The process-wide solver worker pool: spawned lazily on first
+	// parallel kernel, never shut down by design.
+	"mis2go/internal/par.ensureWorkers",
+	// Test-runner machinery (parallel subtests, timeout watchdogs).
+	"testing.(*T).Run",
+	"testing.runTests",
+	"testing.(*M).",
+}
+
+// settleTimeout bounds how long Check waits for fresh goroutines to
+// finish winding down before declaring them leaked.
+const settleTimeout = 2 * time.Second
+
+// Baseline is the set of goroutines alive when Capture was called.
+type Baseline struct {
+	ids map[int64]bool
+}
+
+// Capture records the currently live goroutines. Take it before the
+// scenario under test starts anything.
+func Capture() Baseline {
+	ids := make(map[int64]bool)
+	for _, g := range stacks() {
+		ids[g.id] = true
+	}
+	return Baseline{ids: ids}
+}
+
+// Check fails t when goroutines that are not in the baseline and not
+// allowlisted are still alive after the settle period. allow entries
+// are extra substring patterns on top of the built-in allowlist.
+func Check(t testing.TB, base Baseline, allow ...string) {
+	t.Helper()
+	patterns := append(append([]string(nil), defaultAllow...), allow...)
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		leaked := leakedSince(base, patterns)
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			var sb strings.Builder
+			for _, g := range leaked {
+				fmt.Fprintf(&sb, "\n--- leaked goroutine %d ---\n%s\n", g.id, g.dump)
+			}
+			t.Errorf("leakcheck: %d goroutine(s) leaked:%s", len(leaked), sb.String())
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// goroutine is one parsed block of the all-goroutine stack dump.
+type goroutine struct {
+	id   int64
+	dump string
+}
+
+func leakedSince(base Baseline, patterns []string) []goroutine {
+	var leaked []goroutine
+outer:
+	for _, g := range stacks() {
+		if base.ids[g.id] {
+			continue
+		}
+		for _, p := range patterns {
+			if strings.Contains(g.dump, p) {
+				continue outer
+			}
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// stacks dumps and parses all goroutine stacks. The calling goroutine
+// is excluded — it is alive by definition, and during Capture it may be
+// a different goroutine than during Check (subtests run on their own).
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var gs []goroutine
+	for i, block := range strings.Split(string(buf), "\n\n") {
+		id, ok := parseHeader(block)
+		if !ok {
+			continue
+		}
+		if i == 0 {
+			// First block is the goroutine running runtime.Stack: the
+			// checker itself, never a leak candidate.
+			continue
+		}
+		gs = append(gs, goroutine{id: id, dump: block})
+	}
+	return gs
+}
+
+// parseHeader extracts the goroutine ID from a dump block's first line,
+// which reads "goroutine 123 [running]:".
+func parseHeader(block string) (int64, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return 0, false
+	}
+	rest := block[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}

@@ -1,0 +1,68 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// recorder satisfies testing.TB through embedding and captures failures
+// instead of failing the real test.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = format
+	if len(args) > 0 {
+		if s, ok := args[len(args)-1].(string); ok {
+			r.msg += s
+		}
+	}
+}
+
+func TestCleanScenarioPasses(t *testing.T) {
+	base := Capture()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	Check(t, base) // the goroutine has exited (or will within the settle window)
+}
+
+func TestLeakIsDetectedAndNamed(t *testing.T) {
+	base := Capture()
+	block := make(chan struct{})
+	go leakyWorker(block)
+	rec := &recorder{TB: t}
+	Check(rec, base)
+	if !rec.failed {
+		close(block)
+		t.Fatal("blocked goroutine not reported as a leak")
+	}
+	if !strings.Contains(rec.msg, "leakyWorker") {
+		close(block)
+		t.Fatalf("leak report does not name the leaked function: %q", rec.msg)
+	}
+	// Release it and confirm the same baseline now passes.
+	close(block)
+	Check(t, base)
+}
+
+func leakyWorker(block chan struct{}) {
+	<-block
+}
+
+func TestAllowlistSuppresses(t *testing.T) {
+	base := Capture()
+	block := make(chan struct{})
+	defer close(block)
+	go leakyWorker(block)
+	rec := &recorder{TB: t}
+	Check(rec, base, "leakcheck.leakyWorker")
+	if rec.failed {
+		t.Fatalf("allowlisted goroutine reported as a leak: %q", rec.msg)
+	}
+}

@@ -1,0 +1,50 @@
+package serve
+
+import "fmt"
+
+// FaultPhase names the points in a request's lifecycle where the
+// Config.FaultHook is consulted. The hook runs with the request's own
+// context, so injection plans carried in context values can target one
+// request among many — the property that makes fault-injection stress
+// tests deterministic under arbitrary goroutine interleavings.
+type FaultPhase int
+
+const (
+	// FaultAdmitted fires right after the request passes the admission
+	// semaphore, before any cache work. It runs outside the panic
+	// isolation sections — hooks must not panic here.
+	FaultAdmitted FaultPhase = iota
+	// FaultBuild fires inside the full-construction critical section,
+	// before the hierarchy build, holding the entry lock. An error or
+	// panic here exercises the failed-build path (entry dropped, later
+	// requests rebuild).
+	FaultBuild
+	// FaultRefresh fires inside the numeric-refresh critical section,
+	// before any value mutation, holding the entry lock. An error here
+	// is a pre-mutation rejection (the entry stays usable); a panic
+	// retires the entry.
+	FaultRefresh
+	// FaultSolve fires inside the batch-leader critical section, after
+	// the coalescing window closed and with the entry lock held, just
+	// before the CGBatch call. The context is the leader's — followers
+	// coalesced into the batch share the outcome. A panic here is the
+	// "mid-batch panic" scenario: every follower must be woken with an
+	// error wrapping ErrPanic and the entry must be retired, never
+	// deadlocked on the condition variable.
+	FaultSolve
+)
+
+// String names the phase for logs and test output.
+func (p FaultPhase) String() string {
+	switch p {
+	case FaultAdmitted:
+		return "admitted"
+	case FaultBuild:
+		return "build"
+	case FaultRefresh:
+		return "refresh"
+	case FaultSolve:
+		return "solve"
+	}
+	return fmt.Sprintf("FaultPhase(%d)", int(p))
+}

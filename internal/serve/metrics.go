@@ -13,6 +13,8 @@ type counters struct {
 	evictions   atomic.Int64
 	batchSolves atomic.Int64
 	batchedRHS  atomic.Int64
+	canceled    atomic.Int64
+	panics      atomic.Int64
 }
 
 // Metrics is a consistent-enough snapshot of the service counters (each
@@ -31,6 +33,14 @@ type Metrics struct {
 	// BatchSolves counts CGBatch calls; BatchedRHS counts the
 	// right-hand-side columns they carried in total.
 	BatchSolves, BatchedRHS int64
+	// Canceled counts admitted requests that ended canceled (before,
+	// during, or while coalescing for a solve); admission-wait
+	// cancellations count under Rejected instead.
+	Canceled int64
+	// Panics counts panics contained by the solver critical sections —
+	// each one converted to an error and an entry retirement instead of
+	// a dead process or a deadlocked batch.
+	Panics int64
 }
 
 // Metrics returns a snapshot of the service counters.
@@ -45,6 +55,8 @@ func (s *Service) Metrics() Metrics {
 		Evictions:   s.m.evictions.Load(),
 		BatchSolves: s.m.batchSolves.Load(),
 		BatchedRHS:  s.m.batchedRHS.Load(),
+		Canceled:    s.m.canceled.Load(),
+		Panics:      s.m.panics.Load(),
 	}
 }
 

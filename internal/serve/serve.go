@@ -30,6 +30,17 @@
 // of piling unbounded work onto the solver. Per-request RequestStats and
 // service-wide Metrics expose what each request paid.
 //
+// Failure domains: the request context is honored past admission — it
+// cancels hierarchy construction between levels and the CG iteration
+// loop itself (a coalesced batch is only canceled once every participant
+// has canceled; a canceled follower detaches immediately, since the
+// batch owns copies of its columns). A cancellation never corrupts the
+// cache: the entry stays valid and later requests reuse it. Panics in
+// the build/refresh/solve critical sections are contained — converted to
+// an error for every waiter of the affected entry, which is invalidated
+// and dropped so the next request rebuilds fresh — instead of killing
+// the process or stranding followers on the condition variable.
+//
 // Determinism carries over from the underlying stack: a served solution
 // is bitwise identical to the same system solved by a sequential single
 // caller (krylov.CGBatch with k = 1 on a freshly built hierarchy), for
@@ -45,7 +56,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mis2go/internal/amg"
@@ -85,6 +98,17 @@ type Config struct {
 	// to hierarchy construction and the V-cycle preconditioner too.
 	// Results are deterministic for every choice.
 	Threads int
+	// FaultHook, when non-nil, is called at the named phase of each
+	// request with that request's context, and a non-nil return fails
+	// the phase as if the work itself had failed. It exists for
+	// deterministic fault injection in tests: the hook may return an
+	// error (injected build/refresh/solve failure), sleep (slow solve),
+	// cancel the request's own context (per-request cancellation at a
+	// chosen phase, via a cancel func carried in context values), or
+	// panic — but only at FaultBuild, FaultRefresh, and FaultSolve,
+	// which run inside the service's panic-isolation sections.
+	// Production configurations leave it nil.
+	FaultHook func(FaultPhase, context.Context) error
 }
 
 // defaultBatchWindow is the coalescing window when Config leaves it zero:
@@ -160,6 +184,33 @@ func (o Outcome) String() string {
 // matrix, wrong right-hand-side lengths, oversized batch), so transports
 // can distinguish caller errors from solver failures with errors.Is.
 var ErrBadRequest = errors.New("serve: bad request")
+
+// ErrPanic is wrapped by every error produced by a contained panic in a
+// build/refresh/solve critical section. The affected cache entry is
+// invalidated and dropped; the panicking request and every coalesced
+// follower get this error instead of a deadlock or a dead process.
+var ErrPanic = errors.New("serve: panic in solver critical section")
+
+// ErrInvalidated is returned to a batch whose cache entry was reset (by
+// a contained panic or a deep refresh failure in another request) while
+// the batch was parked in its coalescing window: the values the batch
+// was pinned to are gone, so solving would run against a different
+// operator. Retrying the request rebuilds fresh and succeeds.
+var ErrInvalidated = errors.New("serve: cache entry invalidated while batch was coalescing")
+
+// errEntryDirty marks a refresh failure that struck after the entry's
+// value buffers were already swapped (outer-operator refill): the
+// hierarchy may still report valid, but the entry's operator view is
+// stale, so the caller must retire the entry like a deep failure.
+var errEntryDirty = errors.New("entry state diverged")
+
+// isCancellation reports whether err is any of the stack's cancellation
+// outcomes (solver-loop, setup, admission, or coalescing-window cancel
+// — all of them wrap the originating context error).
+func isCancellation(err error) bool {
+	return errors.Is(err, krylov.ErrCanceled) || errors.Is(err, amg.ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // RequestStats reports what one request paid and how its solve went.
 type RequestStats struct {
@@ -240,9 +291,13 @@ type entry struct {
 }
 
 // batch is one coalesced CGBatch call: the columns of every joined
-// request, solved together, results fanned back out.
+// request, solved together, results fanned back out. The batch owns
+// copies of every joined column (made at join time, under the entry
+// lock): a follower whose context is canceled can then detach and
+// return immediately without the leader ever reading caller-owned
+// memory that the caller has taken back.
 type batch struct {
-	bs    [][]float64 // right-hand-side columns, join order
+	bs    [][]float64 // batch-owned copies of the columns, join order
 	xs    [][]float64 // per-column results, filled by the leader
 	stats []krylov.Stats
 	err   error
@@ -252,6 +307,44 @@ type batch struct {
 	// waking the leader early instead of sleeping out the rest of the
 	// window (no later joiner can fit, so at most one close).
 	full chan struct{}
+	// live counts participants whose request context has not been
+	// canceled; when the last one cancels, the solve itself is canceled
+	// through solveCtx — one canceled client never aborts a batch that
+	// other clients are still waiting on.
+	live        atomic.Int64
+	solveCtx    context.Context
+	cancelSolve context.CancelCauseFunc
+}
+
+func newBatch() *batch {
+	bt := &batch{done: make(chan struct{}), full: make(chan struct{})}
+	bt.solveCtx, bt.cancelSolve = context.WithCancelCause(context.Background())
+	return bt
+}
+
+// join appends batch-owned copies of the request's columns and their
+// result buffers. Called with the entry lock held.
+func (bt *batch) join(bs [][]float64, n int) {
+	for _, b := range bs {
+		bt.bs = append(bt.bs, append(make([]float64, 0, n), b...))
+		bt.xs = append(bt.xs, make([]float64, n))
+	}
+}
+
+// watch registers one participant's context with the batch's liveness
+// count. The returned stop function releases the registration on the
+// normal path; it must not be forgotten (the AfterFunc would outlive
+// the request). The cancellation callback runs on the context's
+// machinery, never holding the entry lock — the leader holds that lock
+// for the whole solve, so a callback that took it would deadlock the
+// very cancellation it delivers.
+func (bt *batch) watch(ctx context.Context) (stop func() bool) {
+	bt.live.Add(1)
+	return context.AfterFunc(ctx, func() {
+		if bt.live.Add(-1) == 0 {
+			bt.cancelSolve(context.Cause(ctx))
+		}
+	})
 }
 
 // reset returns the entry to the unbuilt state (must hold e.mu): the
@@ -277,13 +370,18 @@ func New(cfg Config) *Service {
 // Solve serves one system A x = b: admission (backpressure), hierarchy
 // cache lookup by pattern fingerprint, build/refresh/reuse of the
 // numeric state, and a possibly coalesced CG solve. The returned x is
-// freshly allocated. ctx bounds admission only — once admitted, a
-// request runs to completion (a canceled joiner would otherwise let the
-// batch leader read a right-hand side its caller has taken back).
+// freshly allocated. ctx is honored end to end: it bounds admission,
+// cancels hierarchy construction between levels, detaches the request
+// from a coalescing window it is parked in, and stops the CG iteration
+// loop itself once every participant of the batch has canceled. A
+// canceled request returns an error wrapping the context's cause and
+// never a partial solution; the cache entry it touched stays valid for
+// later requests.
 //
 // a and b are only read, and never retained past the call: the service
-// keeps its own copy of the matrix, so the caller may mutate or reuse
-// both freely after Solve returns.
+// keeps its own copies of the matrix and right-hand side, so the caller
+// may mutate or reuse both freely after Solve returns — even when the
+// request was canceled out of a shared batch.
 func (s *Service) Solve(ctx context.Context, a *sparse.Matrix, b []float64) ([]float64, RequestStats, error) {
 	xs, st, err := s.SolveBatch(ctx, a, [][]float64{b})
 	if len(xs) == 0 {
@@ -339,13 +437,32 @@ func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float
 	}
 	defer func() { <-s.sem }()
 	s.m.requests.Add(1)
+	if err := s.fault(FaultAdmitted, ctx); err != nil {
+		return nil, st, err
+	}
 
 	key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
 	e, collision := s.lookup(key, a)
+	var xs [][]float64
+	var rst RequestStats
+	var err error
 	if collision {
-		return s.solveUncached(a, bs, &st)
+		xs, rst, err = s.solveUncached(ctx, a, bs, &st)
+	} else {
+		xs, rst, err = s.solveCached(ctx, e, a, bs, &st)
 	}
-	return s.solveCached(e, a, bs, &st)
+	if err != nil && isCancellation(err) {
+		s.m.canceled.Add(1)
+	}
+	return xs, rst, err
+}
+
+// fault runs the configured fault-injection hook for the phase, if any.
+func (s *Service) fault(p FaultPhase, ctx context.Context) error {
+	if s.cfg.FaultHook == nil {
+		return nil
+	}
+	return s.cfg.FaultHook(p, ctx)
 }
 
 // lookup returns the cache entry for key, creating (and LRU-evicting)
@@ -398,42 +515,42 @@ func (s *Service) drop(e *entry) {
 // solveCached runs the cached-pattern path: ensure the hierarchy's
 // numeric state matches the request's values (build, refresh, or
 // nothing), then solve through the entry's batcher.
-func (s *Service) solveCached(e *entry, a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+func (s *Service) solveCached(ctx context.Context, e *entry, a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
 	e.mu.Lock()
 	for {
+		if err := ctx.Err(); err != nil {
+			// Honor cancellation before committing to any setup work.
+			// Nothing has been mutated: the entry stays exactly as the
+			// previous request left it.
+			e.mu.Unlock()
+			return nil, *st, fmt.Errorf("serve: canceled before solve: %w", context.Cause(ctx))
+		}
 		if e.h == nil {
+			if e.pending > 0 {
+				// The entry was reset (contained panic, deep refresh
+				// failure) while batches pinned to the old values are
+				// still in flight. Their leaders must observe the reset
+				// and fail before this request installs new values under
+				// them — wait for the drain exactly like a refresher.
+				e.refreshWaiters++
+				e.cond.Wait()
+				e.refreshWaiters--
+				continue
+			}
 			// First request for the pattern — or the first to observe an
 			// entry reset by a failed build or deep refresh failure,
 			// including waiters resuming from cond.Wait below: pay the
 			// full construction. Waiters for the same pattern block on
 			// e.mu here — the single-flight guarantee that K concurrent
 			// first-requests build exactly once.
-			fine := a.Clone()
-			h, err := amg.Build(fine, s.cfg.AMG)
-			if err != nil {
+			if err := s.buildEntry(ctx, e, a); err != nil {
+				if errors.Is(err, ErrPanic) {
+					s.m.panics.Add(1)
+				}
 				e.mu.Unlock()
 				s.drop(e)
 				return nil, *st, fmt.Errorf("serve: hierarchy build: %w", err)
 			}
-			e.h = h
-			e.fine = fine
-			e.spare = &sparse.Matrix{
-				Rows: fine.Rows, Cols: fine.Cols,
-				RowPtr: fine.RowPtr, Col: fine.Col, // pattern arrays are immutable and shared
-				Val: make([]float64, len(fine.Val)),
-			}
-			op, err := sparse.NewOperator(fine, s.cfg.AMG.Format, s.cfg.AMG.SellSigma)
-			if err != nil {
-				e.reset()
-				e.mu.Unlock()
-				s.drop(e)
-				return nil, *st, fmt.Errorf("serve: outer operator format: %w", err)
-			}
-			e.op, e.sell = op, nil
-			if sl, ok := op.(*sparse.SELL); ok {
-				e.sell = sl
-			}
-			e.ws = krylov.NewWorkspace(fine.Rows)
 			st.Outcome = OutcomeBuild
 			s.m.builds.Add(1)
 			break
@@ -446,7 +563,7 @@ func (s *Service) solveCached(e *entry, a *sparse.Matrix, bs [][]float64, st *Re
 			// silently solve the wrong matrix, so serve it uncached.
 			e.mu.Unlock()
 			s.m.collisions.Add(1)
-			return s.solveUncached(a, bs, st)
+			return s.solveUncached(ctx, a, bs, st)
 		}
 		if sameValues(e.fine.Val, a.Val) {
 			// Same operator as the cached numeric state: pay nothing.
@@ -466,83 +583,153 @@ func (s *Service) solveCached(e *entry, a *sparse.Matrix, bs [][]float64, st *Re
 			e.refreshWaiters--
 			continue
 		}
-		copy(e.spare.Val, a.Val)
-		// BuildNumeric, not Refresh: the service has no "same operator
-		// evolving over time" contract — independent clients may submit
-		// any values on a pattern — so the history-dependent diagonal
-		// sign check would make the outcome depend on invisible cache
-		// state (rejected while cached, fully built after an eviction).
-		// Both run the identical numeric replay at identical cost.
-		if err := e.h.BuildNumeric(e.spare); err != nil {
-			if !e.h.Valid() {
-				// A deep numeric failure invalidated the hierarchy
-				// mid-replay. Reset the entry while still holding its
-				// lock — same-pattern waiters queued on e.mu or e.cond
-				// must find the unbuilt state and rebuild, never an
-				// invalidated hierarchy (whose Precondition panics) —
-				// and retire it from the index so the next lookup
-				// starts fresh.
+		if err := s.refreshEntry(ctx, e, a); err != nil {
+			panicked := errors.Is(err, ErrPanic)
+			if panicked {
+				s.m.panics.Add(1)
+			}
+			if panicked || !e.h.Valid() || errors.Is(err, errEntryDirty) {
+				// The numeric state (or the entry's operator view of it)
+				// is no longer trustworthy. Reset the entry while still
+				// holding its lock — same-pattern waiters queued on e.mu
+				// or e.cond must find the unbuilt state and rebuild,
+				// never an invalidated hierarchy (whose Precondition
+				// panics) — and retire it from the index so the next
+				// lookup starts fresh.
 				e.reset()
 				e.cond.Broadcast()
 				e.mu.Unlock()
 				s.drop(e)
 			} else {
+				// Pre-mutation rejection (bad values, cancellation
+				// caught before the replay touched anything): the
+				// previous numeric state is fully usable, keep it.
 				e.mu.Unlock()
 			}
 			return nil, *st, fmt.Errorf("serve: hierarchy refresh: %w", err)
-		}
-		e.fine, e.spare = e.spare, e.fine
-		if e.sell != nil {
-			// The SELL conversion gathers the new values through its
-			// cached entry schedule; CSR outer operators just re-point.
-			// A failure is impossible by construction (the ping-pong
-			// matrices share the conversion's pattern) — treat one like
-			// a deep numeric failure so nothing stale is ever served.
-			if err := e.sell.FillValues(e.fine); err != nil {
-				e.reset()
-				e.cond.Broadcast()
-				e.mu.Unlock()
-				s.drop(e)
-				return nil, *st, fmt.Errorf("serve: outer operator refresh: %w", err)
-			}
-		} else {
-			e.op = e.fine
 		}
 		st.Outcome = OutcomeRefresh
 		s.m.refreshes.Add(1)
 		break
 	}
-	return s.solveBatched(e, bs, st)
+	return s.solveBatched(ctx, e, bs, st)
+}
+
+// buildEntry runs the full-construction critical section with panic
+// isolation: hierarchy build, ping-pong value buffers, the outer
+// operator view, and solver scratch. Called with e.mu held. Every
+// entry field is assigned only after the last fallible step, so a
+// failure (or contained panic, reported as an error wrapping ErrPanic)
+// leaves the entry unbuilt and the caller drops it.
+func (s *Service) buildEntry(ctx context.Context, e *entry, a *sparse.Matrix) (err error) {
+	defer recoverTo(&err)
+	if err := s.fault(FaultBuild, ctx); err != nil {
+		return err
+	}
+	fine := a.Clone()
+	h, err := amg.BuildCtx(ctx, fine, s.cfg.AMG)
+	if err != nil {
+		return err
+	}
+	op, err := sparse.NewOperator(fine, s.cfg.AMG.Format, s.cfg.AMG.SellSigma)
+	if err != nil {
+		return fmt.Errorf("outer operator format: %w", err)
+	}
+	e.h = h
+	e.fine = fine
+	e.spare = &sparse.Matrix{
+		Rows: fine.Rows, Cols: fine.Cols,
+		RowPtr: fine.RowPtr, Col: fine.Col, // pattern arrays are immutable and shared
+		Val: make([]float64, len(fine.Val)),
+	}
+	e.op, e.sell = op, nil
+	if sl, ok := op.(*sparse.SELL); ok {
+		e.sell = sl
+	}
+	e.ws = krylov.NewWorkspace(fine.Rows)
+	return nil
+}
+
+// refreshEntry runs the numeric-refresh critical section with panic
+// isolation. Called with e.mu held and e.pending == 0. On return the
+// caller classifies the error: pre-mutation rejections (including a
+// cancellation caught before the replay) leave the entry usable;
+// ErrPanic, an invalidated hierarchy, or errEntryDirty mean the entry
+// must be reset and dropped.
+func (s *Service) refreshEntry(ctx context.Context, e *entry, a *sparse.Matrix) (err error) {
+	defer recoverTo(&err)
+	if err := s.fault(FaultRefresh, ctx); err != nil {
+		return err
+	}
+	copy(e.spare.Val, a.Val)
+	// BuildNumeric, not Refresh: the service has no "same operator
+	// evolving over time" contract — independent clients may submit
+	// any values on a pattern — so the history-dependent diagonal
+	// sign check would make the outcome depend on invisible cache
+	// state (rejected while cached, fully built after an eviction).
+	// Both run the identical numeric replay at identical cost.
+	if err := e.h.BuildNumericCtx(ctx, e.spare); err != nil {
+		return err
+	}
+	e.fine, e.spare = e.spare, e.fine
+	if e.sell != nil {
+		// The SELL conversion gathers the new values through its
+		// cached entry schedule; CSR outer operators just re-point.
+		// A failure is impossible by construction (the ping-pong
+		// matrices share the conversion's pattern) — but the buffers
+		// are already swapped, so flag it for the deep-failure path
+		// so nothing stale is ever served.
+		if err := e.sell.FillValues(e.fine); err != nil {
+			return fmt.Errorf("outer operator refresh: %w: %w", errEntryDirty, err)
+		}
+	} else {
+		e.op = e.fine
+	}
+	return nil
+}
+
+// recoverTo converts a panic in a solver critical section into an error
+// wrapping ErrPanic, with the panic value and stack preserved.
+func recoverTo(errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack())
+	}
 }
 
 // solveBatched joins or leads a coalesced batch for the entry's current
 // operator. Called with e.mu held; returns with it released.
-func (s *Service) solveBatched(e *entry, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+func (s *Service) solveBatched(ctx context.Context, e *entry, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
 	m := len(bs)
 	// Join the open batch when the request's columns fit.
 	if e.cur != nil && len(e.cur.bs)+m <= s.cfg.MaxBatch {
 		bt := e.cur
 		lo := len(bt.bs)
-		for _, b := range bs {
-			bt.bs = append(bt.bs, b)
-			bt.xs = append(bt.xs, make([]float64, e.rows))
-		}
+		bt.join(bs, e.rows)
 		if len(bt.bs) == s.cfg.MaxBatch {
 			close(bt.full) // batch is full; stop the leader's window early
 		}
 		e.mu.Unlock()
-		<-bt.done
-		return requestResult(bt, lo, m, st)
+		stop := bt.watch(ctx)
+		select {
+		case <-bt.done:
+			stop()
+			return s.requestResult(bt, lo, m, st)
+		case <-ctx.Done():
+			// Detach: the batch owns copies of this request's columns,
+			// so the leader finishes without it and nothing is corrupted.
+			// The AfterFunc already decremented the liveness count.
+			return nil, *st, fmt.Errorf("serve: canceled while coalescing: %w", context.Cause(ctx))
+		}
 	}
 
 	// Lead a new batch: publish it for joiners, sleep out the window
 	// (or until a joiner fills the batch), close it, and solve while
-	// holding the entry lock.
-	bt := &batch{done: make(chan struct{}), full: make(chan struct{})}
-	for _, b := range bs {
-		bt.bs = append(bt.bs, b)
-		bt.xs = append(bt.xs, make([]float64, e.rows))
-	}
+	// holding the entry lock. A canceled leader with live followers
+	// still runs the solve on their behalf (it is the only goroutine
+	// positioned to); only its own result comes back canceled.
+	bt := newBatch()
+	bt.join(bs, e.rows)
+	stop := bt.watch(ctx)
 	e.pending++
 	if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > m && e.refreshWaiters == 0 {
 		e.cur = bt
@@ -559,35 +746,82 @@ func (s *Service) solveBatched(e *entry, bs [][]float64, st *RequestStats) ([][]
 		}
 	}
 
-	k := len(bt.bs)
+	bt.k = len(bt.bs)
+	if e.h == nil {
+		// The entry was reset (contained panic, deep refresh failure in
+		// another request) while this batch coalesced. Its columns are
+		// pinned to values that no longer exist — solving against
+		// whatever gets rebuilt would silently answer a different
+		// system, so fail the whole batch cleanly instead.
+		bt.err = ErrInvalidated
+	} else {
+		s.runBatchSolve(ctx, e, bt)
+	}
+	e.pending--
+	if e.pending == 0 {
+		e.cond.Broadcast()
+	}
+	panicked := errors.Is(bt.err, ErrPanic)
+	if panicked {
+		// The panic may have struck mid-update inside the hierarchy or
+		// workspace: nothing about the entry's solver state can be
+		// trusted anymore. Reset it (waiters rebuild) and retire it.
+		s.m.panics.Add(1)
+		e.reset()
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	if panicked {
+		s.drop(e)
+	}
+	close(bt.done)
+	bt.cancelSolve(nil) // release the solve context's resources
+	stop()
+	return s.requestResult(bt, 0, m, st)
+}
+
+// runBatchSolve executes the batch's CGBatch call with panic isolation;
+// called with e.mu held. reqCtx is the leader's request context (the
+// fault hook reads injection plans from it); the solve itself is
+// governed by bt.solveCtx, which cancels only once every live
+// participant of the batch has canceled.
+func (s *Service) runBatchSolve(reqCtx context.Context, e *entry, bt *batch) {
+	defer recoverTo(&bt.err)
+	if err := s.fault(FaultSolve, reqCtx); err != nil {
+		bt.err = err
+		return
+	}
+	k := bt.k
 	n := e.rows
 	e.bbuf = grow(e.bbuf, n*k)
 	e.xbuf = grow(e.xbuf, n*k)
 	interleave(e.bbuf, bt.bs, n, k)
 	clear(e.xbuf[:n*k]) // zero initial guess for every column
-	stats, err := krylov.CGBatchWith(s.rt, e.op, e.bbuf, e.xbuf, k, s.cfg.Tol, s.cfg.MaxIter, e.h, e.ws)
-	bt.k = k
+	stats, err := krylov.CGBatchCtx(bt.solveCtx, s.rt, e.op, e.bbuf, e.xbuf, k, s.cfg.Tol, s.cfg.MaxIter, e.h, e.ws)
 	bt.err = err
 	bt.stats = make([]krylov.Stats, len(stats))
 	copy(bt.stats, stats) // stats slice is workspace-owned; keep a copy
 	deinterleave(bt.xs, e.xbuf, n, k)
 	s.m.batchSolves.Add(1)
 	s.m.batchedRHS.Add(int64(k))
-	e.pending--
-	if e.pending == 0 {
-		e.cond.Broadcast()
-	}
-	e.mu.Unlock()
-	close(bt.done)
-	return requestResult(bt, 0, m, st)
 }
 
 // requestResult extracts one request's columns [lo, lo+m) from a solved
 // batch: solutions, per-column stats, and an error iff one of the
 // request's own columns failed (a neighbor's failure in the same batch
-// is not this request's error).
-func requestResult(bt *batch, lo, m int, st *RequestStats) ([][]float64, RequestStats, error) {
+// is not this request's error). Canceled, panicked, and invalidated
+// batches return no solutions at all — a partial CG iterate must never
+// be mistaken for an answer.
+func (s *Service) requestResult(bt *batch, lo, m int, st *RequestStats) ([][]float64, RequestStats, error) {
 	st.Batched = bt.k
+	if bt.err != nil {
+		switch {
+		case errors.Is(bt.err, krylov.ErrCanceled):
+			return nil, *st, fmt.Errorf("serve: solve canceled: %w", bt.err)
+		case errors.Is(bt.err, ErrPanic), errors.Is(bt.err, ErrInvalidated):
+			return nil, *st, fmt.Errorf("serve: %w", bt.err)
+		}
+	}
 	xs := bt.xs[lo : lo+m]
 	var err error
 	if len(bt.stats) == bt.k {
@@ -614,10 +848,19 @@ func requestResult(bt *batch, lo, m int, st *RequestStats) ([][]float64, Request
 // solveUncached serves a fingerprint-collision request correctly but
 // without touching the cache: a fresh hierarchy and a one-shot solve
 // through the same CGBatch kernel, so even this path is bitwise
-// identical to the cached one.
-func (s *Service) solveUncached(a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+// identical to the cached one. The request context governs build and
+// solve directly (no coalescing to negotiate with), and panic isolation
+// applies here too — the state is request-local, but the process must
+// survive.
+func (s *Service) solveUncached(ctx context.Context, a *sparse.Matrix, bs [][]float64, st *RequestStats) (xs [][]float64, rst RequestStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Add(1)
+			xs, rst, err = nil, *st, fmt.Errorf("serve: %w: %v\n%s", ErrPanic, r, debug.Stack())
+		}
+	}()
 	st.Outcome = OutcomeCollision
-	h, err := amg.Build(a, s.cfg.AMG)
+	h, err := amg.BuildCtx(ctx, a, s.cfg.AMG)
 	if err != nil {
 		return nil, *st, fmt.Errorf("serve: hierarchy build: %w", err)
 	}
@@ -626,14 +869,14 @@ func (s *Service) solveUncached(a *sparse.Matrix, bs [][]float64, st *RequestSta
 	bb := make([]float64, n*k)
 	xb := make([]float64, n*k)
 	interleave(bb, bs, n, k)
-	stats, serr := krylov.CGBatchWith(s.rt, a, bb, xb, k, s.cfg.Tol, s.cfg.MaxIter, h, nil)
+	stats, serr := krylov.CGBatchCtx(ctx, s.rt, a, bb, xb, k, s.cfg.Tol, s.cfg.MaxIter, h, nil)
 	bt := &batch{k: k, err: serr}
 	for j := 0; j < k; j++ {
 		bt.xs = append(bt.xs, make([]float64, n))
 	}
 	deinterleave(bt.xs, xb, n, k)
 	bt.stats = append(bt.stats, stats...)
-	return requestResult(bt, 0, k, st)
+	return s.requestResult(bt, 0, k, st)
 }
 
 // interleave gathers k column vectors into the interleaved multi-RHS

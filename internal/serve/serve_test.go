@@ -512,7 +512,7 @@ func TestServeDeepRefreshFailureResetsEntry(t *testing.T) {
 	}
 	// A waiter still holding the dropped entry rebuilds through it.
 	var st RequestStats
-	xs, _, err := s.solveCached(e, a, [][]float64{b}, &st)
+	xs, _, err := s.solveCached(ctx, e, a, [][]float64{b}, &st)
 	if err != nil {
 		t.Fatal(err)
 	}
