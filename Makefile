@@ -19,7 +19,7 @@ MAXDROP ?= 10
 # repeat — scheduler/thermal noise only adds time, so min-of-N is what
 # makes the $(MAXDROP) gate comparable across runs.
 BENCHCOUNT ?= 3
-BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves'
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves|BenchmarkShardedServe|BenchmarkSingleHierarchyServe'
 
 .PHONY: all build test race bench check
 
@@ -36,7 +36,7 @@ race:
 
 check:
 	go vet ./...
-	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel' ./...
+	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel|TestSharded|TestRefresh|TestPartition|TestCheck|TestFingerprint' ./...
 
 bench:
 	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=$(BENCHCOUNT) . \
@@ -45,6 +45,7 @@ bench:
 			-ratio Resetup_vs_FullSetup=AMGBuild/AMGRefresh \
 			-ratio SELL_vs_CSR=SpMVHot/SpMVSELL \
 			-ratio Serve_vs_SequentialSolves=SequentialSolves/ServeThroughput \
+			-ratio Sharded_vs_Single=SingleHierarchyServe/ShardedServe \
 			-maxdrop $(MAXDROP) \
 			-out BENCH_PR$(PR).json
 

@@ -71,9 +71,13 @@ type columnResult struct {
 
 // solveResponse is the JSON shape of a solve that produced results.
 type solveResponse struct {
-	Outcome string         `json:"outcome"`
-	Batched int            `json:"batched"`
-	Columns []columnResult `json:"columns"`
+	Outcome string `json:"outcome"`
+	Batched int    `json:"batched"`
+	// Sharded/Subdomains report the domain-decomposed path (requests at
+	// or above -shard-threshold rows).
+	Sharded    bool           `json:"sharded,omitempty"`
+	Subdomains int            `json:"subdomains,omitempty"`
+	Columns    []columnResult `json:"columns"`
 	// X mirrors Columns[0].X for single-RHS requests whose column
 	// converged, so the common case stays a one-field read; an
 	// unconverged iterate is never surfaced through the convenience
@@ -106,18 +110,22 @@ func main() {
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 500, "CG iteration cap")
 	threads := flag.Int("threads", 0, "solver worker count, 0 = all cores")
+	shardThreshold := flag.Int("shard-threshold", 0, "route requests with at least this many rows through domain-decomposed sharded solves, 0 disables (size -cache for the per-subdomain entries)")
+	shardSubdomains := flag.Int("shard-subdomains", 0, "subdomain count for sharded solves (rounded up to a power of two), 0 = rows/256")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight solves after SIGTERM before forcing exit")
 	flag.Parse()
 
 	svc := serve.New(serve.Config{
-		AMG:           amg.Options{Threads: *threads},
-		Tol:           *tol,
-		MaxIter:       *maxIter,
-		CacheCapacity: *cache,
-		BatchWindow:   *window,
-		MaxBatch:      *maxBatch,
-		MaxInFlight:   *inflight,
-		Threads:       *threads,
+		AMG:             amg.Options{Threads: *threads},
+		Tol:             *tol,
+		MaxIter:         *maxIter,
+		CacheCapacity:   *cache,
+		BatchWindow:     *window,
+		MaxBatch:        *maxBatch,
+		MaxInFlight:     *inflight,
+		Threads:         *threads,
+		ShardThreshold:  *shardThreshold,
+		ShardSubdomains: *shardSubdomains,
 	})
 	ap := &app{svc: svc, maxBody: *maxBody}
 	log.Printf("amgserve listening on %s (cache %d, window %v, maxbatch %d)", *addr, *cache, *window, *maxBatch)
@@ -245,7 +253,8 @@ func (ap *app) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	resp := solveResponse{Outcome: stats.Outcome.String(), Batched: stats.Batched}
+	resp := solveResponse{Outcome: stats.Outcome.String(), Batched: stats.Batched,
+		Sharded: stats.Sharded, Subdomains: stats.Subdomains}
 	for j, x := range xs {
 		cr := columnResult{X: x}
 		if j < len(stats.Columns) {
@@ -303,6 +312,10 @@ func (ap *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "amgserve_batch_solves_total %d\n", m.BatchSolves)
 	fmt.Fprintf(w, "amgserve_batched_rhs_total %d\n", m.BatchedRHS)
 	fmt.Fprintf(w, "amgserve_batched_rhs_ratio %.3f\n", m.BatchedRHSRatio())
+	fmt.Fprintf(w, "amgserve_sharded_requests_total %d\n", m.ShardedRequests)
+	fmt.Fprintf(w, "amgserve_shard_sub_builds_total %d\n", m.SubBuilds)
+	fmt.Fprintf(w, "amgserve_shard_sub_refreshes_total %d\n", m.SubRefreshes)
+	fmt.Fprintf(w, "amgserve_shard_sub_reuses_total %d\n", m.SubReuses)
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP. It

@@ -113,3 +113,19 @@ func PatternFingerprint(rows, cols int, rowPtr []int, col []int32) uint64 {
 	}
 	return Xorshift64Star(h)
 }
+
+// FingerprintSeed is the canonical chain seed for Combine-based
+// fingerprints, so independent fingerprint kinds (patterns, partitions,
+// composed cache keys) all start from the same constant and differ only
+// by what they fold in.
+const FingerprintSeed uint64 = fpSalt
+
+// Combine folds v into a running 64-bit fingerprint h with the same
+// xor-multiply step PatternFingerprint uses internally. Chains built
+// with Combine are position-sensitive; finish them with Finalize to
+// diffuse the remaining low-bit bias before using the result as a hash
+// key.
+func Combine(h, v uint64) uint64 { return fpMix(h, v) }
+
+// Finalize applies the avalanche step ending every fingerprint chain.
+func Finalize(h uint64) uint64 { return Xorshift64Star(h) }

@@ -275,8 +275,10 @@ func (o Options) withDefaults() Options {
 
 // Result reports a bisection.
 type Result struct {
-	// Part[v] in {0,1} is the side of vertex v.
-	Part []uint8
+	// Part[v] in {0,1} is the side of vertex v. Labels are int32 — the
+	// same width KWay uses — so bisection results compose with k-way
+	// labelings, Check, EdgeCut, and Fingerprint without conversion.
+	Part []int32
 	// EdgeCut is the total weight of edges crossing the cut.
 	EdgeCut int64
 	// Balance is max(part weight) / (total/2); 1.0 is perfect.
@@ -322,7 +324,7 @@ func Partition(g *graph.CSR, opt Options) (Result, error) {
 	refine(coarsest, part, opt)
 	for l := len(levels) - 2; l >= 0; l-- {
 		fine := levels[l].wg
-		finePart := make([]uint8, fine.N)
+		finePart := make([]int32, fine.N)
 		for v := 0; v < fine.N; v++ {
 			finePart[v] = part[levels[l].labels[v]]
 		}
@@ -341,8 +343,8 @@ func Partition(g *graph.CSR, opt Options) (Result, error) {
 
 // growBisect grows part 0 by weighted BFS from a pseudo-peripheral
 // vertex until it holds half the total weight.
-func growBisect(wg *WGraph) []uint8 {
-	part := make([]uint8, wg.N)
+func growBisect(wg *WGraph) []int32 {
+	part := make([]int32, wg.N)
 	for i := range part {
 		part[i] = 1
 	}
@@ -377,7 +379,7 @@ func growBisect(wg *WGraph) []uint8 {
 
 // refine runs FM-style passes: repeatedly move the boundary vertex with
 // the best gain that keeps balance, until a pass yields no improvement.
-func refine(wg *WGraph, part []uint8, opt Options) {
+func refine(wg *WGraph, part []int32, opt Options) {
 	total := wg.TotalVW()
 	maxSide := int64(float64(total) * (0.5 + opt.Imbalance/2))
 	var side [2]int64
@@ -419,8 +421,9 @@ func refine(wg *WGraph, part []uint8, opt Options) {
 	}
 }
 
-// EdgeCut returns the total weight of edges crossing the bisection.
-func EdgeCut(wg *WGraph, part []uint8) int64 {
+// EdgeCut returns the total weight of edges crossing parts. It accepts
+// any labeling — a bisection or a k-way partition.
+func EdgeCut(wg *WGraph, part []int32) int64 {
 	var cut int64
 	for v := 0; v < wg.N; v++ {
 		for p := wg.RowPtr[v]; p < wg.RowPtr[v+1]; p++ {
@@ -434,7 +437,7 @@ func EdgeCut(wg *WGraph, part []uint8) int64 {
 }
 
 // balance returns max part weight over the perfect half.
-func balance(wg *WGraph, part []uint8) float64 {
+func balance(wg *WGraph, part []int32) float64 {
 	var side [2]int64
 	for v := 0; v < wg.N; v++ {
 		side[part[v]] += wg.VW[v]
@@ -537,21 +540,52 @@ func kwayRecurse(g *graph.CSR, part []int32, base int32, k int, opt Options) err
 	return kwayRecurse(g, part, base+half, k/2, opt)
 }
 
-// Check validates a bisection: labels in {0,1}, both sides nonempty for
-// graphs with at least 2 vertices.
-func Check(wg *WGraph, part []uint8) error {
+// Check validates a k-way labeling: one label per vertex, every label
+// in [0, k), and — when the graph has at least k vertices — no empty
+// part. A bisection is the k = 2 case. Errors are descriptive (which
+// vertex, which label) in the style of the order package's permutation
+// checks, so a bad labeling fails loudly at the boundary instead of
+// corrupting a downstream subdomain extraction.
+func Check(wg *WGraph, part []int32, k int) error {
+	if k < 1 {
+		return fmt.Errorf("partition: part count %d, want at least 1", k)
+	}
 	if len(part) != wg.N {
 		return fmt.Errorf("partition: %d labels for %d vertices", len(part), wg.N)
 	}
-	var count [2]int
+	count := make([]int64, k)
 	for v, p := range part {
-		if p > 1 {
-			return fmt.Errorf("partition: vertex %d has part %d", v, p)
+		if p < 0 || int(p) >= k {
+			return fmt.Errorf("partition: label part[%d] = %d out of range [0, %d)", v, p, k)
 		}
 		count[p]++
 	}
-	if wg.N >= 2 && (count[0] == 0 || count[1] == 0) {
-		return errors.New("partition: one side is empty")
+	if wg.N >= k {
+		for p, c := range count {
+			if c == 0 {
+				return fmt.Errorf("partition: part %d of %d is empty", p, k)
+			}
+		}
 	}
 	return nil
 }
+
+// Fingerprint computes a deterministic 64-bit fingerprint of a k-way
+// partition: the part count, the vertex count, and every label in
+// vertex order, chained through the same mixing steps as
+// hash.PatternFingerprint. Sharded cache keys compose this with the
+// operator's pattern fingerprint, so "same pattern, same partition"
+// re-setup can key per-subdomain state without serializing the labels.
+// Allocation-free and O(vertices).
+func Fingerprint(k int, part []int32) uint64 {
+	h := hash.Combine(hash.FingerprintSeed, uint64(k))
+	h = hash.Combine(h, uint64(len(part)))
+	for _, p := range part {
+		h = hash.Combine(h, uint64(uint32(p)))
+	}
+	return hash.Finalize(h)
+}
+
+// Fingerprint returns the deterministic fingerprint of the k-way result
+// (see the package-level Fingerprint).
+func (r KWayResult) Fingerprint() uint64 { return Fingerprint(r.K, r.Part) }

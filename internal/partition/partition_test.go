@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -152,7 +153,7 @@ func TestPartitionGrid(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
-		if err := Check(FromCSR(g), res.Part); err != nil {
+		if err := Check(FromCSR(g), res.Part, 2); err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
 		if res.Balance > 1.10 {
@@ -196,7 +197,7 @@ func TestPartitionBeatsNaiveSplit(t *testing.T) {
 	// split on a random graph (where index order is meaningless).
 	g := randomGraph(600, 3600, 5)
 	wg := FromCSR(g)
-	naive := make([]uint8, g.N)
+	naive := make([]int32, g.N)
 	for v := g.N / 2; v < g.N; v++ {
 		naive[v] = 1
 	}
@@ -244,7 +245,7 @@ func TestEdgeCutAndBalance(t *testing.T) {
 	// 4-cycle split into adjacent pairs: cut = 2.
 	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
 	wg := FromCSR(g)
-	part := []uint8{0, 0, 1, 1}
+	part := []int32{0, 0, 1, 1}
 	if cut := EdgeCut(wg, part); cut != 2 {
 		t.Fatalf("cut = %d, want 2", cut)
 	}
@@ -256,16 +257,51 @@ func TestEdgeCutAndBalance(t *testing.T) {
 func TestCheckCatchesBadPartitions(t *testing.T) {
 	g := gen.Laplace2D(4, 4)
 	wg := FromCSR(g)
-	if Check(wg, make([]uint8, 3)) == nil {
+	if err := Check(wg, make([]int32, 3), 2); err == nil {
 		t.Fatal("length mismatch not caught")
+	} else if !strings.Contains(err.Error(), "3 labels for 16 vertices") {
+		t.Fatalf("length mismatch error not descriptive: %v", err)
 	}
-	bad := make([]uint8, 16)
+	bad := make([]int32, 16)
 	bad[0] = 7
-	if Check(wg, bad) == nil {
-		t.Fatal("invalid part id not caught")
+	if err := Check(wg, bad, 2); err == nil {
+		t.Fatal("out-of-range part id not caught")
+	} else if !strings.Contains(err.Error(), "part[0] = 7 out of range [0, 2)") {
+		t.Fatalf("out-of-range error not descriptive: %v", err)
 	}
-	if Check(wg, make([]uint8, 16)) == nil {
+	bad[0] = -1
+	if err := Check(wg, bad, 2); err == nil {
+		t.Fatal("negative part id not caught")
+	}
+	if err := Check(wg, make([]int32, 16), 2); err == nil {
 		t.Fatal("empty side not caught")
+	} else if !strings.Contains(err.Error(), "part 1 of 2 is empty") {
+		t.Fatalf("empty-part error not descriptive: %v", err)
+	}
+	if err := Check(wg, make([]int32, 16), 0); err == nil {
+		t.Fatal("nonpositive k not caught")
+	}
+	// A graph with fewer vertices than parts legitimately has empty
+	// parts (KWay leaves unsplittable subgraphs in the low half).
+	small := FromCSR(gen.Laplace2D(2, 1))
+	if err := Check(small, []int32{0, 2}, 4); err != nil {
+		t.Fatalf("sparse labeling of a tiny graph rejected: %v", err)
+	}
+}
+
+func TestCheckKWayLabels(t *testing.T) {
+	g := gen.Laplace2D(16, 16)
+	res, err := KWay(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(FromCSR(g), res.Part, res.K); err != nil {
+		t.Fatalf("KWay result fails Check: %v", err)
+	}
+	// Labels valid for k=8 are also valid for any larger power, minus
+	// the empty-part requirement which the vertex count disables here.
+	if err := Check(FromCSR(g), res.Part, 4); err == nil {
+		t.Fatal("labels >= k not caught")
 	}
 }
 
@@ -384,6 +420,72 @@ func TestKWayDeterministic(t *testing.T) {
 	for v := range a.Part {
 		if a.Part[v] != b.Part[v] {
 			t.Fatal("k-way partition differs across thread counts")
+		}
+	}
+}
+
+func TestKWayLargePartCount(t *testing.T) {
+	// 512 parts exceeds the old uint8 ceiling of 256: every label must
+	// survive the int32 widening and every part must be nonempty.
+	g := gen.Laplace2D(48, 48)
+	res, err := KWay(g, 512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(FromCSR(g), res.Part, 512); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]bool)
+	for _, p := range res.Part {
+		seen[p] = true
+	}
+	if len(seen) != 512 {
+		t.Fatalf("only %d of 512 parts populated", len(seen))
+	}
+	if res.Balance > 2.5 {
+		t.Fatalf("balance %.3f", res.Balance)
+	}
+}
+
+func TestPartitionFingerprint(t *testing.T) {
+	g := gen.Laplace2D(20, 20)
+	a, err := KWay(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KWay(g, 8, Options{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint not deterministic across thread counts")
+	}
+	if a.Fingerprint() == 0 {
+		t.Fatal("zero fingerprint")
+	}
+	// Same labels, different k: distinct fingerprints (k is folded in).
+	if Fingerprint(8, a.Part) == Fingerprint(16, a.Part) {
+		t.Fatal("fingerprint ignores k")
+	}
+	// A single moved vertex must change the fingerprint.
+	mut := append([]int32(nil), a.Part...)
+	mut[len(mut)/2] = (mut[len(mut)/2] + 1) % 8
+	if Fingerprint(8, mut) == a.Fingerprint() {
+		t.Fatal("fingerprint ignores labels")
+	}
+	// Position sensitivity: swapping two different labels changes it.
+	i, j := -1, -1
+	for v := range a.Part {
+		if a.Part[v] != a.Part[0] {
+			i, j = 0, v
+			break
+		}
+	}
+	if i >= 0 {
+		swp := append([]int32(nil), a.Part...)
+		swp[i], swp[j] = swp[j], swp[i]
+		if Fingerprint(8, swp) == a.Fingerprint() {
+			t.Fatal("fingerprint not position-sensitive")
 		}
 	}
 }

@@ -1,0 +1,131 @@
+// Cancellation tests, mirroring internal/krylov/cancel_test.go: a
+// mid-apply cancel must return ErrCanceled (wrapping the context
+// cause) with the output vector untouched — no partial iterate — and
+// an uncanceled ApplyCtx must be bitwise identical to Precondition.
+// The pooled fan is also gated on goroutine leaks.
+package schwarz
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"mis2go/internal/leakcheck"
+)
+
+// countdownCtx flips Err() to context.Canceled after a fixed number of
+// Err() calls, canceling deterministically at the Nth in-apply check
+// (the krylov cancel-test pattern; Done() is never closed because the
+// apply polls Err() directly).
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(int64(n))
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestApplyCtxCanceledNoPartialIterate(t *testing.T) {
+	a, b := poisson(24, 24)
+	p, err := New(a, Options{Subdomains: 4, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ApplyCtx checks at entry, after the subdomain fan, and after the
+	// coarse solve; cancel at each stage and require z untouched.
+	const sentinel = 12345.0
+	for allow := 0; allow <= 2; allow++ {
+		ctx := newCountdownCtx(allow)
+		z := make([]float64, a.Rows)
+		for i := range z {
+			z[i] = sentinel
+		}
+		err := p.ApplyCtx(ctx, b, z)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("allow=%d: want ErrCanceled, got %v", allow, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("allow=%d: cause not wrapped: %v", allow, err)
+		}
+		for i := range z {
+			if z[i] != sentinel {
+				t.Fatalf("allow=%d: canceled apply wrote a partial iterate at %d", allow, i)
+			}
+		}
+	}
+	// Past the last check the apply must complete, bitwise identical to
+	// the context-free entry point.
+	z := make([]float64, a.Rows)
+	if err := p.ApplyCtx(newCountdownCtx(100), b, z); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, a.Rows)
+	p.Precondition(b, want)
+	for i := range z {
+		if math.Float64bits(z[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("ApplyCtx diverges from Precondition at %d", i)
+		}
+	}
+}
+
+func TestNewCtxAndRefreshCtxCanceled(t *testing.T) {
+	a, _ := poisson(24, 24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewCtx(ctx, a, Options{Subdomains: 4}); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewCtx: want ErrCanceled wrapping context.Canceled, got %v", err)
+	}
+	p, err := New(a, Options{Subdomains: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cancellation caught before any mutation (the pre-replay check)
+	// is a zone-1 rejection: the preconditioner stays valid.
+	if err := p.RefreshCtx(ctx, a); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RefreshCtx: want ErrCanceled, got %v", err)
+	}
+	if !p.Valid() {
+		t.Fatal("pre-mutation cancel invalidated the preconditioner")
+	}
+	// A cancellation after subdomain replays began (allow=1 admits the
+	// pre-replay check, then cancels after the first subdomain) is a
+	// zone-2 failure: values are mixed across subdomains.
+	if err := p.RefreshCtx(newCountdownCtx(1), scaleValues(a, 2)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-replay cancel: want ErrCanceled, got %v", err)
+	}
+	if p.Valid() {
+		t.Fatal("mid-replay cancel left preconditioner valid")
+	}
+	if err := p.Refresh(a); err != nil || !p.Valid() {
+		t.Fatalf("recovery refresh failed: %v", err)
+	}
+}
+
+func TestApplyLeaksNoGoroutines(t *testing.T) {
+	base := leakcheck.Capture()
+	a, b := poisson(24, 24)
+	p, err := New(a, Options{Subdomains: 8, Threads: 8, LocalAMGThreshold: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, a.Rows)
+	for i := 0; i < 10; i++ {
+		p.Precondition(b, z)
+	}
+	if err := p.ApplyCtx(newCountdownCtx(1), b, z); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	leakcheck.Check(t, base)
+}

@@ -89,20 +89,29 @@ func TestOverlapImprovesConvergence(t *testing.T) {
 }
 
 func TestDeterministicAcrossThreads(t *testing.T) {
-	a, b := poisson(24, 24)
+	// Bitwise determinism of the pooled subdomain fan at 1/2/8 workers,
+	// with the local AMG threshold forced low so large subdomains
+	// exercise the hierarchy path, not just dense LU.
+	a, b := poisson(32, 32)
 	run := func(threads int) []float64 {
-		p, err := New(a, Options{Subdomains: 4, Threads: threads})
+		p, err := New(a, Options{Subdomains: 8, Threads: threads, LocalAMGThreshold: 64})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if st := p.Stats(); st.AMGLocal == 0 {
+			t.Fatalf("threshold 64 produced no AMG locals: %+v", st)
 		}
 		z := make([]float64, a.Rows)
 		p.Precondition(b, z)
 		return z
 	}
-	z1, z8 := run(1), run(8)
-	for i := range z1 {
-		if z1[i] != z8[i] {
-			t.Fatalf("nondeterministic at %d: %g vs %g", i, z1[i], z8[i])
+	z1 := run(1)
+	for _, threads := range []int{2, 8} {
+		zt := run(threads)
+		for i := range z1 {
+			if z1[i] != zt[i] {
+				t.Fatalf("threads=%d nondeterministic at %d: %g vs %g", threads, i, z1[i], zt[i])
+			}
 		}
 	}
 }
@@ -149,11 +158,28 @@ func TestErrorCases(t *testing.T) {
 	if _, err := New(a, Options{Overlap: -1}); err == nil {
 		t.Fatal("negative overlap accepted")
 	}
-	// Too few subdomains for a dense local solve must be rejected with a
-	// helpful error, not an OOM: 1 subdomain of a big matrix.
+	// With dense local solves forced, a subdomain above sparse.MaxDenseN
+	// must be rejected with a helpful error, not an OOM.
 	big, _ := poisson(100, 100)
-	if _, err := New(big, Options{Subdomains: 2, NoCoarse: true}); err == nil {
-		t.Fatal("oversized subdomain accepted")
+	if _, err := New(big, Options{Subdomains: 2, NoCoarse: true, LocalAMGThreshold: -1}); err == nil {
+		t.Fatal("oversized dense subdomain accepted")
+	}
+	// The same configuration is legal by default: large subdomains get
+	// per-subdomain AMG hierarchies instead of dense factorizations.
+	p, err := New(big, Options{Subdomains: 2, NoCoarse: true})
+	if err != nil {
+		t.Fatalf("AMG local solver rejected a large subdomain: %v", err)
+	}
+	if st := p.Stats(); st.AMGLocal != p.NumSubdomains() || st.DenseLocal != 0 {
+		t.Fatalf("expected all-AMG locals, got %+v", st)
+	}
+	// Apply-only operator formats expose no CSR entries to extract.
+	sell, err := sparse.NewOperator(a, sparse.FormatSELL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sell, Options{}); err == nil {
+		t.Fatal("SELL operator accepted")
 	}
 }
 

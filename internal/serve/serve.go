@@ -98,6 +98,20 @@ type Config struct {
 	// to hierarchy construction and the V-cycle preconditioner too.
 	// Results are deterministic for every choice.
 	Threads int
+	// ShardThreshold, when positive, routes requests with at least that
+	// many rows through the sharded solve path: the matrix graph is
+	// partitioned, each subdomain gets its own cache entry (keyed
+	// pattern × partition × subdomain) holding an independent local
+	// solver, and the solve is an outer Schwarz-preconditioned CG whose
+	// subdomain applies fan across the worker pool. Zero (the default)
+	// disables sharding. Note each subdomain occupies one cache slot:
+	// size CacheCapacity to at least ShardSubdomains + 2 per sharded
+	// pattern kept warm, or subdomains of one request evict each other.
+	ShardThreshold int
+	// ShardSubdomains is the subdomain count for sharded solves
+	// (rounded up to a power of two; 0 picks the schwarz default of
+	// rows/256).
+	ShardSubdomains int
 	// FaultHook, when non-nil, is called at the named phase of each
 	// request with that request's context, and a non-nil return fails
 	// the phase as if the work itself had failed. It exists for
@@ -214,7 +228,9 @@ func isCancellation(err error) bool {
 
 // RequestStats reports what one request paid and how its solve went.
 type RequestStats struct {
-	// Outcome is the hierarchy-cache outcome.
+	// Outcome is the hierarchy-cache outcome. For a sharded request it
+	// describes the shard head (the partition layout + coarse level);
+	// per-subdomain outcomes are aggregated in the service Metrics.
 	Outcome Outcome
 	// Batched is the total number of right-hand-side columns in the
 	// CGBatch call that served this request (1 when the request ran
@@ -223,6 +239,11 @@ type RequestStats struct {
 	// Columns holds the solver stats of this request's right-hand
 	// sides, in request order.
 	Columns []krylov.Stats
+	// Sharded reports that the request took the domain-decomposed path
+	// (Config.ShardThreshold); Subdomains is the number of local
+	// solvers its preconditioner applied.
+	Sharded    bool
+	Subdomains int
 }
 
 // Service is a concurrent solve service. Create one with New; the zero
@@ -235,12 +256,24 @@ type Service struct {
 
 	// mu guards the cache index (entries + lru). It is never held
 	// across a build, refresh, or solve — those serialize on the
-	// per-entry lock — so cache lookups stay fast under load.
+	// per-entry lock — so cache lookups stay fast under load. The index
+	// holds three node kinds behind one LRU: single-hierarchy entries,
+	// shard heads, and per-subdomain shard entries.
 	mu      sync.Mutex
-	entries map[uint64]*entry
-	lru     *list.List // front = most recently used; values are *entry
+	entries map[uint64]cacheNode
+	lru     *list.List // front = most recently used; values are cacheNode
 
 	m counters
+}
+
+// cacheNode is what the cache index stores: any of the three entry
+// kinds, identified by key and threaded through the shared LRU list.
+// The key and the LRU element are guarded by Service.mu; everything
+// else about a node is its own business.
+type cacheNode interface {
+	cacheKey() uint64
+	lruElem() *list.Element
+	setLRUElem(*list.Element)
 }
 
 // entry is one cached pattern: the hierarchy, the service-owned fine
@@ -289,6 +322,10 @@ type entry struct {
 
 	elem *list.Element
 }
+
+func (e *entry) cacheKey() uint64            { return e.key }
+func (e *entry) lruElem() *list.Element      { return e.elem }
+func (e *entry) setLRUElem(el *list.Element) { e.elem = el }
 
 // batch is one coalesced CGBatch call: the columns of every joined
 // request, solved together, results fanned back out. The batch owns
@@ -362,7 +399,7 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		rt:      par.New(cfg.Threads),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
-		entries: make(map[uint64]*entry),
+		entries: make(map[uint64]cacheNode),
 		lru:     list.New(),
 	}
 }
@@ -441,15 +478,19 @@ func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float
 		return nil, st, err
 	}
 
-	key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
-	e, collision := s.lookup(key, a)
 	var xs [][]float64
 	var rst RequestStats
 	var err error
-	if collision {
-		xs, rst, err = s.solveUncached(ctx, a, bs, &st)
+	if s.cfg.ShardThreshold > 0 && a.Rows >= s.cfg.ShardThreshold {
+		xs, rst, err = s.solveSharded(ctx, a, bs, &st)
 	} else {
-		xs, rst, err = s.solveCached(ctx, e, a, bs, &st)
+		key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
+		e, collision := s.lookup(key, a)
+		if collision {
+			xs, rst, err = s.solveUncached(ctx, a, bs, &st)
+		} else {
+			xs, rst, err = s.solveCached(ctx, e, a, bs, &st)
+		}
 	}
 	if err != nil && isCancellation(err) {
 		s.m.canceled.Add(1)
@@ -472,7 +513,15 @@ func (s *Service) fault(p FaultPhase, ctx context.Context) error {
 func (s *Service) lookup(key uint64, a *sparse.Matrix) (e *entry, collision bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.entries[key]; ok {
+	if node, ok := s.entries[key]; ok {
+		e, ok := node.(*entry)
+		if !ok {
+			// The pattern fingerprint collided with a shard node's
+			// salted key — astronomically unlikely, handled like any
+			// other collision: serve correctly, uncached.
+			s.m.collisions.Add(1)
+			return nil, true
+		}
 		// Shape pre-check on hit: two patterns hashing to one
 		// fingerprint must not share a hierarchy. This catches
 		// different-shape collisions without touching the entry lock;
@@ -488,26 +537,49 @@ func (s *Service) lookup(key uint64, a *sparse.Matrix) (e *entry, collision bool
 	}
 	e = &entry{key: key, rows: a.Rows, cols: a.Cols, nnz: a.NNZ()}
 	e.cond = sync.NewCond(&e.mu)
-	e.elem = s.lru.PushFront(e)
-	s.entries[key] = e
-	for s.lru.Len() > s.cfg.CacheCapacity {
-		old := s.lru.Remove(s.lru.Back()).(*entry)
-		delete(s.entries, old.key)
-		s.m.evictions.Add(1)
-	}
+	s.index(e)
 	return e, false
 }
 
-// drop removes e from the cache if it is still indexed (an entry whose
-// build failed, or whose numeric state a deep Refresh failure left
-// unusable). In-flight holders of e keep working; the next request for
-// the pattern rebuilds fresh. Must not be called with e.mu held (lock
-// order is index lock outside entry lock, never both inward).
-func (s *Service) drop(e *entry) {
+// index inserts a node at the LRU front and evicts past capacity.
+// Called with s.mu held. A node already cached under the key is
+// replaced (its LRU element removed); in-flight holders of the
+// replaced node keep working, like any dropped node.
+func (s *Service) index(n cacheNode) {
+	if old, ok := s.entries[n.cacheKey()]; ok {
+		s.lru.Remove(old.lruElem())
+	}
+	n.setLRUElem(s.lru.PushFront(n))
+	s.entries[n.cacheKey()] = n
+	for s.lru.Len() > s.cfg.CacheCapacity {
+		old := s.lru.Remove(s.lru.Back()).(cacheNode)
+		delete(s.entries, old.cacheKey())
+		s.m.evictions.Add(1)
+	}
+}
+
+// touch moves a still-indexed node to the LRU front.
+func (s *Service) touch(n cacheNode) {
 	s.mu.Lock()
-	if cur, ok := s.entries[e.key]; ok && cur == e {
-		delete(s.entries, e.key)
-		s.lru.Remove(e.elem)
+	if cur, ok := s.entries[n.cacheKey()]; ok && cur == n {
+		s.lru.MoveToFront(n.lruElem())
+	}
+	s.mu.Unlock()
+}
+
+// drop removes a node from the cache if it is still indexed (an entry
+// whose build failed, or whose numeric state a deep Refresh failure
+// left unusable; a shard head or subdomain retired the same way).
+// In-flight holders of the node keep working; the next request for the
+// pattern rebuilds fresh. Lock order: the index lock (s.mu) may be
+// taken while holding a per-node lock — the sharded path looks up
+// subdomain nodes under the head lock — but never the reverse, so drop
+// must not be reachable from code holding s.mu.
+func (s *Service) drop(n cacheNode) {
+	s.mu.Lock()
+	if cur, ok := s.entries[n.cacheKey()]; ok && cur == n {
+		delete(s.entries, n.cacheKey())
+		s.lru.Remove(n.lruElem())
 	}
 	s.mu.Unlock()
 }

@@ -1,0 +1,495 @@
+// Sharded solves: the domain-decomposed path for requests too large to
+// treat as one cache entry (Config.ShardThreshold). The request's
+// pattern is partitioned once into a shard head — the layout (k-way
+// partition + overlapped row sets), the coarse level, and the
+// service-owned value buffer — and each subdomain's local solver lives
+// in its own cache entry, keyed pattern × partition × subdomain, in the
+// same LRU as single-hierarchy entries. The solve is an outer
+// Schwarz-preconditioned krylov.CGCtx whose subdomain applies fan
+// across the shared worker pool, so many concurrent sharded requests
+// interleave subdomain work.
+//
+// Caching economics per subdomain, mirroring the single-hierarchy
+// entry: a missing subdomain pays a local build, a cached subdomain
+// whose values changed pays a numeric-only Refresh (value gather +
+// refactorization or AMG plan replay), and a subdomain whose rows are
+// bitwise untouched pays nothing — so a localized value update
+// refreshes only the subdomains it touches.
+//
+// Blast radii follow PR 6's rules, narrowed to the component: a failed
+// or panicked subdomain build/refresh retires only that subdomain's
+// entry (the head and the other subdomains stay warm; the next request
+// rebuilds just the casualty), a deep head failure (coarse-level replay
+// gone wrong mid-mutation) retires the head — subdomain entries of the
+// orphaned generation are never reused, because each pins its owning
+// head — and cancellation never corrupts anything: it is honored only
+// at points where the cached state is consistent.
+//
+// Determinism: a sharded served solve is bitwise identical to a
+// sequential single-caller Schwarz-CG solve of the same system with the
+// same options (the facade's SolveSharded), for any worker count and
+// any cache state — the partition is deterministic, subdomain applies
+// use fixed one-block-per-subdomain blocking with serial accumulation,
+// and refreshed local solvers are bitwise identical to freshly built
+// ones.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mis2go/internal/hash"
+	"mis2go/internal/krylov"
+	"mis2go/internal/schwarz"
+	"mis2go/internal/sparse"
+)
+
+// Salts separating the three key spaces of the shared cache index:
+// plain pattern fingerprints (unsalted), shard heads, and shard
+// subdomains. Arbitrary distinct odd constants.
+const (
+	shardHeadSalt uint64 = 0x53484541445F4B45 // "SHEAD_KE"
+	shardSubSalt  uint64 = 0x5348415244535542 // "SHARDSUB"
+)
+
+// shardHeadKey keys the head node for a pattern fingerprint.
+func shardHeadKey(patternFP uint64) uint64 {
+	return hash.Finalize(hash.Combine(hash.Combine(hash.FingerprintSeed, shardHeadSalt), patternFP))
+}
+
+// shardSubKey keys subdomain i of a pattern × partition pair.
+func shardSubKey(patternFP, partitionFP uint64, i int) uint64 {
+	h := hash.Combine(hash.FingerprintSeed, shardSubSalt)
+	h = hash.Combine(h, patternFP)
+	h = hash.Combine(h, partitionFP)
+	h = hash.Combine(h, uint64(i))
+	return hash.Finalize(h)
+}
+
+// shardHead is the per-pattern root of a sharded decomposition: the
+// partition layout, the coarse level, the service-owned copy of the
+// current values (what every cached subdomain's numeric state was built
+// from), and the keys of its subdomain entries. key/rows/cols/nnz are
+// immutable; elem belongs to the index; the rest is guarded by mu. The
+// head lock serializes all setup for the pattern (build, value refresh,
+// subdomain ensure) — the same single-flight rule as entry.mu — while
+// solves run outside it, gated only by the pending count so a refresh
+// never mutates subdomains under an in-flight solve.
+type shardHead struct {
+	key             uint64
+	rows, cols, nnz int
+
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when pending drops to zero
+	lay  *schwarz.Layout
+	// coarse is the second level, owned by the head (it is pattern-wide,
+	// not per-subdomain). nil until built; reset to nil retires the head.
+	coarse *schwarz.Coarse
+	// fine holds the values the cached numeric state reflects. Cached
+	// subdomains owned by this head are always in sync with fine: the
+	// refresh path updates fine and every cached subdomain in one
+	// critical section, dropping any subdomain whose refresh failed.
+	fine *sparse.Matrix
+	// subKeys caches the per-subdomain index keys (pattern × partition
+	// × index).
+	subKeys []uint64
+	// pending counts in-flight solves using this head's components;
+	// values and cached subdomains may not be mutated while it is
+	// positive.
+	pending int
+	// refreshWaiters counts requests parked on cond until pending
+	// drains so they can refresh values under the drained head.
+	refreshWaiters int
+
+	elem *list.Element
+}
+
+func (h *shardHead) cacheKey() uint64            { return h.key }
+func (h *shardHead) lruElem() *list.Element      { return h.elem }
+func (h *shardHead) setLRUElem(el *list.Element) { h.elem = el }
+
+// reset retires the head's solver state (must hold h.mu): the next
+// request rebuilds the layout and coarse level — a new generation, so
+// subdomain entries pinned to this head are never reused.
+func (h *shardHead) reset() {
+	h.lay, h.coarse, h.fine, h.subKeys = nil, nil, nil, nil
+}
+
+// shardSub is one cached subdomain: the local solver plus the head
+// generation it was built from. The struct is immutable after indexing
+// (the solver's internal numeric state mutates only under the owning
+// head's drain + lock discipline); owner pinning is what prevents a
+// rebuilt head from adopting stale local solvers — an owner mismatch
+// reads as a miss.
+type shardSub struct {
+	key   uint64
+	owner *shardHead
+	sd    *schwarz.Subdomain
+
+	elem *list.Element
+}
+
+func (n *shardSub) cacheKey() uint64            { return n.key }
+func (n *shardSub) lruElem() *list.Element      { return n.elem }
+func (n *shardSub) setLRUElem(el *list.Element) { n.elem = el }
+
+// schwarzOptions is the option set of every sharded preconditioner the
+// service builds. The facade's SolveSharded constructs the identical
+// set, which is what makes served sharded solves bitwise comparable to
+// the sequential reference.
+func (s *Service) schwarzOptions() schwarz.Options {
+	return schwarz.Options{Subdomains: s.cfg.ShardSubdomains, Threads: s.cfg.Threads}
+}
+
+// lookupShard returns the head node for the key, creating it as needed,
+// with the same shape pre-check and collision discipline as lookup.
+func (s *Service) lookupShard(key uint64, a *sparse.Matrix) (h *shardHead, collision bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if node, ok := s.entries[key]; ok {
+		h, ok := node.(*shardHead)
+		if !ok || h.rows != a.Rows || h.cols != a.Cols || h.nnz != a.NNZ() {
+			s.m.collisions.Add(1)
+			return nil, true
+		}
+		s.lru.MoveToFront(h.elem)
+		return h, false
+	}
+	h = &shardHead{key: key, rows: a.Rows, cols: a.Cols, nnz: a.NNZ()}
+	h.cond = sync.NewCond(&h.mu)
+	s.index(h)
+	return h, false
+}
+
+// getSub returns the cached subdomain node under key owned by h, or nil
+// on a miss (absent, a different node kind under a colliding key, or an
+// orphan of a retired head generation).
+func (s *Service) getSub(key uint64, h *shardHead) *shardSub {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.entries[key]
+	if !ok {
+		return nil
+	}
+	sub, ok := node.(*shardSub)
+	if !ok || sub.owner != h {
+		return nil
+	}
+	s.lru.MoveToFront(sub.elem)
+	return sub
+}
+
+// solveSharded serves one request on the domain-decomposed path: ensure
+// the shard head (partition layout + coarse level + current values),
+// ensure every subdomain's local solver against those values, assemble
+// a request-local Schwarz preconditioner over the shared components,
+// and run the outer CG outside the head lock.
+func (s *Service) solveSharded(ctx context.Context, a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+	st.Sharded = true
+	s.m.shardedRequests.Add(1)
+	patternFP := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
+	h, collision := s.lookupShard(shardHeadKey(patternFP), a)
+	if collision {
+		// Collisions bypass the cache entirely; the single-hierarchy
+		// uncached path is correct at any size, just unsharded.
+		return s.solveUncached(ctx, a, bs, st)
+	}
+
+	h.mu.Lock()
+	for {
+		if err := ctx.Err(); err != nil {
+			h.mu.Unlock()
+			return nil, *st, fmt.Errorf("serve: canceled before solve: %w", context.Cause(ctx))
+		}
+		if h.lay == nil {
+			if h.pending > 0 {
+				// Reset while solves pinned to the old generation are in
+				// flight; wait for them to observe it and drain.
+				h.refreshWaiters++
+				h.cond.Wait()
+				h.refreshWaiters--
+				continue
+			}
+			if err := s.buildShardHead(ctx, h, a, patternFP); err != nil {
+				if errors.Is(err, ErrPanic) {
+					s.m.panics.Add(1)
+				}
+				h.mu.Unlock()
+				s.drop(h)
+				return nil, *st, fmt.Errorf("serve: shard head build: %w", err)
+			}
+			st.Outcome = OutcomeBuild
+			s.m.builds.Add(1)
+			break
+		}
+		if !samePattern(h.fine, a) {
+			// Equal-shape fingerprint collision on the head key.
+			h.mu.Unlock()
+			s.m.collisions.Add(1)
+			return s.solveUncached(ctx, a, bs, st)
+		}
+		if sameValues(h.fine.Val, a.Val) {
+			// Cached values match bitwise. Evicted subdomains may still
+			// need rebuilding below, but that only creates new nodes —
+			// legal under in-flight solves, no drain needed.
+			st.Outcome = OutcomeReuse
+			s.m.valueHits.Add(1)
+			break
+		}
+		if h.pending > 0 {
+			// In-flight solves are pinned to the current values; a
+			// refresh must wait for them to drain (re-check everything
+			// on wake, like the single-hierarchy path).
+			h.refreshWaiters++
+			h.cond.Wait()
+			h.refreshWaiters--
+			continue
+		}
+		var mutated bool
+		if err := s.refreshShardHead(ctx, h, a, &mutated); err != nil {
+			panicked := errors.Is(err, ErrPanic)
+			if panicked {
+				s.m.panics.Add(1)
+			}
+			if panicked || mutated {
+				// The value buffer mutated (or a panic struck) before the
+				// failure: the head's state no longer matches any coherent
+				// operator. Retire the whole generation (subdomain orphans
+				// die by owner pinning).
+				h.reset()
+				h.cond.Broadcast()
+				h.mu.Unlock()
+				s.drop(h)
+			} else {
+				// Pre-mutation rejection (fault-gate failure before the
+				// values were touched): the cached state survives.
+				h.mu.Unlock()
+			}
+			return nil, *st, fmt.Errorf("serve: shard refresh: %w", err)
+		}
+		st.Outcome = OutcomeRefresh
+		s.m.refreshes.Add(1)
+		break
+	}
+
+	// Ensure every subdomain's local solver against h.fine, still under
+	// the head lock (single-flight per pattern). On the reuse path the
+	// cached values already match, so cached subdomains are guaranteed
+	// in sync and only evicted ones need rebuilding.
+	subs, err := s.ensureSubs(ctx, h)
+	if err != nil {
+		h.mu.Unlock()
+		return nil, *st, err
+	}
+	st.Subdomains = len(subs)
+	// Re-front the head after its subdomains were (re)indexed: losing
+	// the head orphans every subdomain of its generation, so under LRU
+	// pressure the subdomains must go first.
+	s.touch(h)
+
+	p, err := schwarz.Assemble(s.rt, h.lay, subs, h.coarse)
+	if err != nil {
+		// Unreachable by construction (ensureSubs returns one solver
+		// per layout set); fail the request, keep the cache.
+		h.mu.Unlock()
+		return nil, *st, fmt.Errorf("serve: shard assemble: %w", err)
+	}
+	h.pending++
+	h.mu.Unlock()
+
+	xs, rst, err := s.runShardSolve(ctx, a, bs, p, st)
+
+	h.mu.Lock()
+	h.pending--
+	if h.pending == 0 {
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+	return xs, rst, err
+}
+
+// buildShardHead runs the head construction critical section with panic
+// isolation: partition layout, coarse level, value buffer, subdomain
+// keys. Called with h.mu held; every field is assigned only after the
+// last fallible step.
+func (s *Service) buildShardHead(ctx context.Context, h *shardHead, a *sparse.Matrix, patternFP uint64) (err error) {
+	defer recoverTo(&err)
+	if err := s.fault(FaultBuild, ctx); err != nil {
+		return err
+	}
+	fine := a.Clone()
+	opt := s.schwarzOptions()
+	lay, err := schwarz.NewLayout(fine, opt)
+	if err != nil {
+		return err
+	}
+	coarse, err := schwarz.NewCoarse(s.rt, fine, lay, opt)
+	if err != nil {
+		return err
+	}
+	keys := make([]uint64, len(lay.Sets))
+	for i := range keys {
+		keys[i] = shardSubKey(patternFP, lay.PartitionFP, i)
+	}
+	h.lay, h.coarse, h.fine, h.subKeys = lay, coarse, fine, keys
+	return nil
+}
+
+// refreshShardHead installs the request's values and replays the coarse
+// level, with panic isolation. Called with h.mu held and h.pending ==
+// 0. mutated reports whether the value buffer was touched before a
+// failure: if so (or on a contained panic) the head's state has
+// diverged from the cached subdomains and the caller retires it;
+// otherwise the cached state is untouched and survives.
+func (s *Service) refreshShardHead(ctx context.Context, h *shardHead, a *sparse.Matrix, mutated *bool) (err error) {
+	defer recoverTo(&err)
+	if err := s.fault(FaultRefresh, ctx); err != nil {
+		return err
+	}
+	*mutated = true
+	copy(h.fine.Val, a.Val)
+	return h.coarse.Refresh(s.rt, h.fine)
+}
+
+// ensureSubs brings every subdomain's local solver in sync with h.fine
+// and returns them in layout order: cached and bitwise in-sync → reuse;
+// cached with stale values → numeric-only Refresh; missing (never
+// built, evicted, or orphaned by a head rebuild) → build. Builds and
+// refreshes fan out on plain goroutines — not the worker pool, whose
+// workers do not contain panics — each under its own recovery, so a
+// panicked or failed subdomain retires only that subdomain's entry and
+// the rest complete and stay cached. Called with h.mu held.
+func (s *Service) ensureSubs(ctx context.Context, h *shardHead) ([]*schwarz.Subdomain, error) {
+	n := len(h.subKeys)
+	subs := make([]*schwarz.Subdomain, n)
+	type job struct {
+		i    int
+		node *shardSub // nil: build; non-nil: refresh this node's solver
+	}
+	var jobs []job
+	for i, key := range h.subKeys {
+		if node := s.getSub(key, h); node != nil {
+			if node.sd.SameValues(h.fine) {
+				subs[i] = node.sd
+				s.m.subReuses.Add(1)
+				continue
+			}
+			// Stale values can only be observed on the refresh path,
+			// where the caller has drained h.pending: mutating is safe.
+			jobs = append(jobs, job{i, node})
+			continue
+		}
+		jobs = append(jobs, job{i, nil})
+	}
+	if len(jobs) == 0 {
+		return subs, nil
+	}
+
+	type result struct {
+		i    int
+		node *shardSub // freshly built node to index (nil for refreshes)
+		err  error
+	}
+	results := make([]result, len(jobs))
+	var wg sync.WaitGroup
+	for ji, jb := range jobs {
+		wg.Add(1)
+		go func(ji int, jb job) {
+			defer wg.Done()
+			res := &results[ji]
+			res.i = jb.i
+			defer recoverTo(&res.err)
+			if jb.node != nil {
+				if err := s.fault(FaultRefresh, ctx); err != nil {
+					res.err = err
+					return
+				}
+				res.err = jb.node.sd.Refresh(h.fine)
+				return
+			}
+			if err := s.fault(FaultBuild, ctx); err != nil {
+				res.err = err
+				return
+			}
+			sd, err := schwarz.NewSubdomain(h.fine, h.lay.Sets[jb.i], s.schwarzOptions())
+			if err != nil {
+				res.err = err
+				return
+			}
+			res.node = &shardSub{key: h.subKeys[jb.i], owner: h, sd: sd}
+		}(ji, jb)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for ji, res := range results {
+		jb := jobs[ji]
+		switch {
+		case res.err == nil && res.node != nil:
+			s.mu.Lock()
+			s.index(res.node)
+			s.mu.Unlock()
+			subs[res.i] = res.node.sd
+			s.m.subBuilds.Add(1)
+		case res.err == nil:
+			subs[res.i] = jb.node.sd
+			s.m.subRefreshes.Add(1)
+		default:
+			if errors.Is(res.err, ErrPanic) {
+				s.m.panics.Add(1)
+			}
+			if jb.node != nil {
+				// A failed refresh leaves this solver out of sync with
+				// h.fine: retire exactly this subdomain's entry. The
+				// head and every other subdomain stay warm.
+				s.drop(jb.node)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: subdomain %d %s: %w", res.i,
+					map[bool]string{true: "refresh", false: "build"}[jb.node != nil], res.err)
+			}
+		}
+	}
+	return subs, firstErr
+}
+
+// runShardSolve runs the outer Schwarz-preconditioned CG for each
+// column, with panic isolation, outside the head lock. The operator is
+// the request's own matrix (bitwise equal to h.fine by the ensure
+// phase), read only for the duration of the call. A canceled or failed
+// solve returns no solutions — a partial CG iterate is never an answer.
+func (s *Service) runShardSolve(ctx context.Context, a *sparse.Matrix, bs [][]float64, p *schwarz.Preconditioner, st *RequestStats) (xs [][]float64, rst RequestStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Add(1)
+			xs, rst, err = nil, *st, fmt.Errorf("serve: %w: %v", ErrPanic, r)
+		}
+	}()
+	if err := s.fault(FaultSolve, ctx); err != nil {
+		return nil, *st, err
+	}
+	st.Batched = len(bs)
+	ws := krylov.NewWorkspace(a.Rows)
+	failed := 0
+	for _, b := range bs {
+		x := make([]float64, a.Rows)
+		cst, serr := krylov.CGCtx(ctx, s.rt, a, b, x, s.cfg.Tol, s.cfg.MaxIter, p, ws)
+		if serr != nil && errors.Is(serr, krylov.ErrCanceled) {
+			return nil, *st, fmt.Errorf("serve: solve canceled: %w", serr)
+		}
+		st.Columns = append(st.Columns, cst)
+		if !cst.Converged {
+			failed++
+		}
+		xs = append(xs, x)
+	}
+	s.m.batchSolves.Add(1)
+	s.m.batchedRHS.Add(int64(len(bs)))
+	if failed > 0 {
+		return xs, *st, fmt.Errorf("serve: %d of %d requested right-hand side(s) did not converge", failed, len(bs))
+	}
+	return xs, *st, nil
+}

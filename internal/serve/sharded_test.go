@@ -1,0 +1,428 @@
+// Sharded-path tests: bitwise identity of served sharded solves
+// against the sequential single-caller Schwarz-CG reference at several
+// worker counts (run these under -race: `make check` does), the
+// per-subdomain cache economics asserted through Metrics (builds once,
+// numeric-only refreshes on new values, reuses on localized updates),
+// and the PR 6 blast-radius rules narrowed to a single subdomain.
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mis2go/internal/gen"
+	"mis2go/internal/krylov"
+	"mis2go/internal/leakcheck"
+	"mis2go/internal/par"
+	"mis2go/internal/schwarz"
+	"mis2go/internal/sparse"
+)
+
+// shardProblem is a Poisson system big enough to shard meaningfully
+// but small enough for -race.
+func shardProblem() (*sparse.Matrix, []float64) {
+	g := gen.Laplace2D(40, 40)
+	a := gen.DirichletLaplacian(g, 4)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = math.Sin(0.07*float64(i)) + 1
+	}
+	return a, b
+}
+
+// shardConfig returns a sharded service config and the matching
+// reference options. CacheCapacity is sized for the subdomain entries.
+func shardConfig(threads int) (Config, schwarz.Options) {
+	cfg := Config{
+		ShardThreshold:  100,
+		ShardSubdomains: 8,
+		CacheCapacity:   32,
+		Threads:         threads,
+		Tol:             1e-10,
+		MaxIter:         500,
+	}
+	return cfg, schwarz.Options{Subdomains: cfg.ShardSubdomains, Threads: threads}
+}
+
+// referenceSharded is the sequential single-caller solve a sharded
+// service must match bitwise: the facade's SolveSharded, inlined.
+func referenceSharded(t *testing.T, a *sparse.Matrix, b []float64, opt schwarz.Options, tol float64, maxIter int) []float64 {
+	t.Helper()
+	p, err := schwarz.New(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Rows)
+	st, err := krylov.CGCtx(nil, par.New(opt.Threads), a, b, x, tol, maxIter, p, nil)
+	if err != nil || !st.Converged {
+		t.Fatalf("reference solve failed: %v %+v", err, st)
+	}
+	return x
+}
+
+func TestShardedMatchesSequentialReference(t *testing.T) {
+	a, b := shardProblem()
+	for _, threads := range []int{1, 2, 8} {
+		cfg, opt := shardConfig(threads)
+		want := referenceSharded(t, a, b, opt, cfg.Tol, cfg.MaxIter)
+		s := New(cfg)
+		// Build, refresh (scaled values), and reuse paths must all match
+		// the reference for their operator.
+		for step, scale := range []float64{1, 2, 2} {
+			sa := a
+			wx := want
+			if scale != 1 {
+				sa = a.Clone()
+				for i := range sa.Val {
+					sa.Val[i] *= scale
+				}
+				wx = referenceSharded(t, sa, b, opt, cfg.Tol, cfg.MaxIter)
+			}
+			x, st, err := s.Solve(context.Background(), sa, b)
+			if err != nil {
+				t.Fatalf("threads=%d step=%d: %v", threads, step, err)
+			}
+			if !st.Sharded || st.Subdomains == 0 {
+				t.Fatalf("threads=%d step=%d: not sharded: %+v", threads, step, st)
+			}
+			for i := range x {
+				if math.Float64bits(x[i]) != math.Float64bits(wx[i]) {
+					t.Fatalf("threads=%d step=%d: diverges from sequential reference at %d: %g vs %g",
+						threads, step, i, x[i], wx[i])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedConcurrentBitwiseStress(t *testing.T) {
+	// Many concurrent sharded requests against a mix of value sets:
+	// every result must match the sequential reference bitwise, no
+	// goroutine may leak, and concurrent assembled preconditioners over
+	// the shared subdomains must interleave safely (run under -race).
+	base := leakcheck.Capture()
+	a, b := shardProblem()
+	cfg, opt := shardConfig(4)
+	s := New(cfg)
+	scales := []float64{1, 2, 3}
+	mats := make([]*sparse.Matrix, len(scales))
+	wants := make([][]float64, len(scales))
+	for i, sc := range scales {
+		mats[i] = a.Clone()
+		for j := range mats[i].Val {
+			mats[i].Val[j] *= sc
+		}
+		wants[i] = referenceSharded(t, mats[i], b, opt, cfg.Tol, cfg.MaxIter)
+	}
+	const G = 12
+	var wg sync.WaitGroup
+	errs := make([]error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				pick := (g + it) % len(scales)
+				x, st, err := s.Solve(context.Background(), mats[pick], b)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !st.Sharded {
+					errs[g] = errors.New("request not sharded")
+					return
+				}
+				for i := range x {
+					if math.Float64bits(x[i]) != math.Float64bits(wants[pick][i]) {
+						errs[g] = errors.New("served solution diverges from sequential reference")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	leakcheck.Check(t, base)
+}
+
+func TestShardedSubdomainCacheEconomics(t *testing.T) {
+	a, b := shardProblem()
+	cfg, _ := shardConfig(2)
+	s := New(cfg)
+	ctx := context.Background()
+
+	// First request: head build + one local build per subdomain.
+	_, st, err := s.Solve(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if st.Outcome != OutcomeBuild || m.Builds != 1 {
+		t.Fatalf("first sharded request outcome %v, builds %d", st.Outcome, m.Builds)
+	}
+	if m.SubBuilds != int64(st.Subdomains) || m.SubRefreshes != 0 {
+		t.Fatalf("first request: SubBuilds %d (want %d), SubRefreshes %d", m.SubBuilds, st.Subdomains, m.SubRefreshes)
+	}
+
+	// Identical values: everything is a hit, nothing is rebuilt.
+	_, st, err = s.Solve(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	if st.Outcome != OutcomeReuse || m.SubBuilds != int64(st.Subdomains) || m.SubRefreshes != 0 {
+		t.Fatalf("reuse request: outcome %v, SubBuilds %d, SubRefreshes %d", st.Outcome, m.SubBuilds, m.SubRefreshes)
+	}
+	if m.SubReuses != int64(st.Subdomains) {
+		t.Fatalf("reuse request: SubReuses %d, want %d", m.SubReuses, st.Subdomains)
+	}
+
+	// Same pattern, globally scaled values: numeric-only replay — every
+	// subdomain refreshes, none rebuilds. This is the acceptance
+	// criterion: per-subdomain Refresh replays numeric-only on
+	// same-pattern values, visible in the Metrics counters.
+	a2 := a.Clone()
+	for i := range a2.Val {
+		a2.Val[i] *= 3
+	}
+	_, st, err = s.Solve(ctx, a2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	if st.Outcome != OutcomeRefresh {
+		t.Fatalf("new-values request outcome %v, want refresh", st.Outcome)
+	}
+	if m.SubBuilds != int64(st.Subdomains) {
+		t.Fatalf("new-values request rebuilt subdomains: SubBuilds %d, want %d", m.SubBuilds, st.Subdomains)
+	}
+	if m.SubRefreshes != int64(st.Subdomains) {
+		t.Fatalf("new-values request: SubRefreshes %d, want %d", m.SubRefreshes, st.Subdomains)
+	}
+
+	// Localized update: perturb one diagonal entry. Only the subdomains
+	// whose overlapped rows see that entry refresh; the rest hit.
+	a3 := a2.Clone()
+	for q := a3.RowPtr[0]; q < a3.RowPtr[1]; q++ {
+		if a3.Col[q] == 0 {
+			a3.Val[q] *= 1.5
+		}
+	}
+	before := m.SubRefreshes
+	_, st, err = s.Solve(ctx, a3, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	touched := m.SubRefreshes - before
+	if touched == 0 || touched == int64(st.Subdomains) {
+		t.Fatalf("localized update refreshed %d of %d subdomains; want a strict subset", touched, st.Subdomains)
+	}
+	if m.SubReuses == 0 {
+		t.Fatal("localized update produced no subdomain reuses")
+	}
+}
+
+func TestShardedSubdomainPanicBlastRadius(t *testing.T) {
+	// A panicked subdomain refresh retires only that subdomain's entry:
+	// the request fails with ErrPanic, and the retry pays exactly one
+	// subdomain rebuild while every other subdomain refreshes in place.
+	a, b := shardProblem()
+	cfg, _ := shardConfig(2)
+	// FaultRefresh fires once at the head's value-install gate and once
+	// per subdomain refresh; panic on exactly the second call so the
+	// injection lands in one subdomain, after the head succeeded.
+	var arm atomic.Bool
+	var calls atomic.Int64
+	cfg.FaultHook = func(p FaultPhase, ctx context.Context) error {
+		if p == FaultRefresh && arm.Load() && calls.Add(1) == 2 {
+			panic("injected subdomain refresh panic")
+		}
+		return nil
+	}
+	s := New(cfg)
+	ctx := context.Background()
+	if _, _, err := s.Solve(ctx, a, b); err != nil {
+		t.Fatal(err)
+	}
+	subs := int(s.Metrics().SubBuilds)
+
+	a2 := a.Clone()
+	for i := range a2.Val {
+		a2.Val[i] *= 2
+	}
+	arm.Store(true)
+	_, _, err := s.Solve(ctx, a2, b)
+	arm.Store(false)
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("want ErrPanic, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "subdomain") {
+		t.Fatalf("panic error does not name the subdomain: %v", err)
+	}
+	m := s.Metrics()
+	if m.Panics != 1 {
+		t.Fatalf("panics counter %d, want 1", m.Panics)
+	}
+
+	// Retry with the same values. The head survived (no head rebuild),
+	// the panicked subdomain's entry was dropped (exactly one rebuild),
+	// and the subdomains that refreshed before the panic reuse.
+	_, st, err := s.Solve(ctx, a2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	if m.Builds != 1 {
+		t.Fatalf("head was rebuilt after a subdomain panic: Builds %d", m.Builds)
+	}
+	if got := int(m.SubBuilds) - subs; got != 1 {
+		t.Fatalf("retry rebuilt %d subdomains, want exactly the panicked one", got)
+	}
+	if st.Outcome == OutcomeBuild {
+		t.Fatalf("retry outcome %v: head should have survived", st.Outcome)
+	}
+	// And the result is still bitwise correct.
+	x, _, err := s.Solve(ctx, a2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceSharded(t, a2, b, schwarz.Options{Subdomains: cfg.ShardSubdomains, Threads: cfg.Threads}, cfg.Tol, cfg.MaxIter)
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("post-recovery solution diverges at %d", i)
+		}
+	}
+}
+
+func TestShardedCancellation(t *testing.T) {
+	a, b := shardProblem()
+	cfg, _ := shardConfig(2)
+	s := New(cfg)
+	// Canceled before setup: the request fails, the cache is untouched,
+	// and a later request builds normally.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Solve(ctx, a, b); err == nil || !isCancellation(err) {
+		t.Fatalf("want cancellation, got %v", err)
+	}
+	if _, st, err := s.Solve(context.Background(), a, b); err != nil || st.Outcome != OutcomeBuild {
+		t.Fatalf("post-cancel build failed: %v %+v", err, st)
+	}
+	// Canceled mid-solve (via the solve-phase fault hook canceling the
+	// request's context): no partial solution, cache entry stays warm.
+	var cancelNext atomic.Bool
+	cfg2, _ := shardConfig(2)
+	cfg2.FaultHook = func(p FaultPhase, ctx context.Context) error {
+		if p == FaultSolve && cancelNext.Load() {
+			if c, ok := ctx.Value(cancelKey{}).(context.CancelFunc); ok {
+				c()
+			}
+		}
+		return nil
+	}
+	s2 := New(cfg2)
+	if _, _, err := s2.Solve(context.Background(), a, b); err != nil {
+		t.Fatal(err)
+	}
+	cancelNext.Store(true)
+	cctx, ccancel := context.WithCancel(context.Background())
+	defer ccancel()
+	xs, _, err := s2.Solve(context.WithValue(cctx, cancelKey{}, context.CancelFunc(ccancel)), a, b)
+	cancelNext.Store(false)
+	if !isCancellation(err) {
+		t.Fatalf("want cancellation from mid-solve cancel, got %v", err)
+	}
+	if xs != nil {
+		t.Fatal("canceled sharded solve returned a partial solution")
+	}
+	// The entry survived the cancellation: same values reuse.
+	if _, st, err := s2.Solve(context.Background(), a, b); err != nil || st.Outcome != OutcomeReuse {
+		t.Fatalf("cache did not survive cancellation: %v %+v", err, st)
+	}
+}
+
+type cancelKey struct{}
+
+func TestShardedSubdomainEvictionRebuildsJustThem(t *testing.T) {
+	// Evicting subdomain entries (by cache pressure from other traffic)
+	// must not invalidate the head: the next sharded request rebuilds
+	// only the evicted subdomains and still reuses the head.
+	a, b := shardProblem()
+	cfg, _ := shardConfig(2)
+	cfg.CacheCapacity = 12 // head + 8 subs fit; small traffic evicts some subs
+	s := New(cfg)
+	ctx := context.Background()
+	if _, _, err := s.Solve(ctx, a, b); err != nil {
+		t.Fatal(err)
+	}
+	subs := s.Metrics().SubBuilds
+	// Unsharded traffic on distinct small patterns pushes LRU pressure.
+	for i := 0; i < 6; i++ {
+		g := gen.Laplace2D(5+i, 5)
+		sm := gen.DirichletLaplacian(g, 4)
+		sb := make([]float64, sm.Rows)
+		for j := range sb {
+			sb[j] = 1
+		}
+		if _, _, err := s.Solve(ctx, sm, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Metrics().Evictions == 0 {
+		t.Fatal("no evictions; test needs more pressure")
+	}
+	_, st, err := s.Solve(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	rebuilt := m.SubBuilds - subs
+	if rebuilt == 0 {
+		t.Fatal("expected some evicted subdomains to rebuild")
+	}
+	if st.Outcome == OutcomeBuild && m.Builds > 1 {
+		// The head itself may have been evicted under this much
+		// pressure; that is legal, but then all subs rebuild.
+		if rebuilt != int64(st.Subdomains) {
+			t.Fatalf("rebuilt head with %d of %d subdomain rebuilds", rebuilt, st.Subdomains)
+		}
+	}
+	// Either way the solution still matches the reference bitwise.
+	x, _, err := s.Solve(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceSharded(t, a, b, schwarz.Options{Subdomains: cfg.ShardSubdomains, Threads: cfg.Threads}, cfg.Tol, cfg.MaxIter)
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("post-eviction solution diverges at %d", i)
+		}
+	}
+}
+
+func TestShardedRoutingThreshold(t *testing.T) {
+	// Requests below the threshold keep taking the single-hierarchy
+	// path even when sharding is enabled.
+	cfg, _ := shardConfig(2)
+	cfg.ShardThreshold = 100000
+	s := New(cfg)
+	a, b := shardProblem()
+	_, st, err := s.Solve(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sharded || s.Metrics().ShardedRequests != 0 {
+		t.Fatalf("sub-threshold request took the sharded path: %+v", st)
+	}
+}

@@ -405,17 +405,48 @@ func PartitionKWay(g *Graph, k int, opt PartitionOptions) (KWayResult, error) {
 	return partition.KWay(g, k, opt)
 }
 
-// SchwarzOptions configures NewSchwarz.
+// SchwarzOptions configures NewSchwarz. Note Subdomains is rounded up
+// to a power of two and Overlap 0 defaults to 1 unless OverlapSet marks
+// it explicit; the effective configuration is reported by
+// Schwarz.Stats.
 type SchwarzOptions = schwarz.Options
 
+// SchwarzStats reports the effective configuration of a Schwarz
+// preconditioner: requested vs rounded subdomain counts, overlap after
+// defaulting, and the local/coarse solver kinds.
+type SchwarzStats = schwarz.Stats
+
 // Schwarz is a two-level overlapping additive Schwarz preconditioner:
-// subdomains from MIS-2-coarsened multilevel partitioning, a coarse
-// space from MIS-2 aggregation (the domain-decomposition use case the
-// paper's introduction cites).
+// subdomains from MIS-2-coarsened multilevel partitioning, each solved
+// by dense LU or a local AMG hierarchy (SchwarzOptions.
+// LocalAMGThreshold), a coarse space from MIS-2 aggregation (the
+// domain-decomposition use case the paper's introduction cites).
+// Supports numeric-only Refresh for same-pattern value updates and
+// context-aware application; subdomain applies fan across the worker
+// pool deterministically.
 type Schwarz = schwarz.Preconditioner
 
-// NewSchwarz builds the additive Schwarz preconditioner for a.
-func NewSchwarz(a *Matrix, opt SchwarzOptions) (*Schwarz, error) { return schwarz.New(a, opt) }
+// NewSchwarz builds the additive Schwarz preconditioner for a. Only CSR
+// operators (*Matrix) are accepted: subdomain extraction needs the
+// entry arrays, which apply-only formats do not expose.
+func NewSchwarz(a Operator, opt SchwarzOptions) (*Schwarz, error) { return schwarz.New(a, opt) }
+
+// SolveSharded solves A x = b with the domain-decomposed solver a
+// sharded SolveService uses: a Schwarz-preconditioned CG over a
+// partition of a's graph. It is the sequential single-caller reference
+// for served sharded solves — a SolveService with ShardThreshold set
+// returns bitwise-identical solutions for the same system and options
+// (SchwarzOptions{Subdomains: cfg.ShardSubdomains, Threads:
+// cfg.Threads}), at any worker count and cache state.
+func SolveSharded(a *Matrix, b []float64, tol float64, maxIter int, opt SchwarzOptions) ([]float64, SolveStats, error) {
+	p, err := schwarz.New(a, opt)
+	if err != nil {
+		return nil, SolveStats{}, err
+	}
+	x := make([]float64, a.Rows)
+	st, err := krylov.CGWith(par.New(opt.Threads), a, b, x, tol, maxIter, p, nil)
+	return x, st, err
+}
 
 // AggregationQuality summarizes an aggregation: coarsening rate, size
 // spread, and the fraction of edges crossing aggregates.
