@@ -19,7 +19,13 @@ MAXDROP ?= 10
 # repeat — scheduler/thermal noise only adds time, so min-of-N is what
 # makes the $(MAXDROP) gate comparable across runs.
 BENCHCOUNT ?= 3
-BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves|BenchmarkShardedServe|BenchmarkSingleHierarchyServe'
+# Benchmarks run at the machine's core count by default; override with
+# BENCHPROCS=N to measure a different parallelism. benchjson records the
+# value and refuses to compare against a baseline measured at a
+# different GOMAXPROCS unless forced (pass FORCE=1).
+BENCHPROCS ?= $(shell nproc)
+FORCE ?=
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkVCycleF64Apply|BenchmarkVCycleF32Apply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves|BenchmarkShardedServe|BenchmarkSingleHierarchyServe|BenchmarkServePrecisionF64|BenchmarkServePrecisionF32'
 
 .PHONY: all build test race bench check
 
@@ -36,17 +42,20 @@ race:
 
 check:
 	go vet ./...
-	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel|TestSharded|TestRefresh|TestPartition|TestCheck|TestFingerprint' ./...
+	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel|TestSharded|TestRefresh|TestPartition|TestCheck|TestFingerprint|TestF32|TestParsePrecision' ./...
 
 bench:
-	go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=$(BENCHCOUNT) . \
+	GOMAXPROCS=$(BENCHPROCS) go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=$(BENCHCOUNT) . \
 		| go run ./cmd/benchjson -baseline $(BASELINE) -label pr$(PR) \
 			-ratio SpMM8_vs_8xSpMV=SpMV8Separate/SpMM8 \
 			-ratio Resetup_vs_FullSetup=AMGBuild/AMGRefresh \
 			-ratio SELL_vs_CSR=SpMVHot/SpMVSELL \
 			-ratio Serve_vs_SequentialSolves=SequentialSolves/ServeThroughput \
 			-ratio Sharded_vs_Single=SingleHierarchyServe/ShardedServe \
+			-ratio VCycleF32_vs_F64=VCycleF64Apply/VCycleF32Apply \
+			-ratio ServeF32_vs_F64=ServePrecisionF64/ServePrecisionF32 \
 			-maxdrop $(MAXDROP) \
+			$(if $(FORCE),-force,) \
 			-out BENCH_PR$(PR).json
 
 # benchsmoke runs every benchmark once (no timing fidelity) so the bench

@@ -521,3 +521,115 @@ func BenchmarkSingleHierarchyServe(b *testing.B) {
 		}
 	}
 }
+
+// precisionBenchSystem is the problem of the mixed-precision V-cycle
+// pair: a 27-point 88^3 grid (681k rows, 18M entries). The dense
+// stencil matters: per fine-level row the smoother streams 27 values +
+// 27 column indices + a few vector words, so shrinking values from 8
+// to 4 bytes cuts (27*12+32)/(27*8+32) ≈ 1.44x of the traffic — on a
+// 7-point stencil the same arithmetic caps out near 1.3x. On top of
+// that byte ratio the size is chosen so the f64 hierarchy (~280 MB)
+// always spills this machine's shared L3 while the f32 one (~195 MB)
+// fits when the host is quiet. Column indices are streamed either way,
+// so a pure-bandwidth run can never exceed 12/8 = 1.5x; anything at or
+// above that line is cache capacity, not bandwidth.
+func precisionBenchSystem() *sparse.Matrix {
+	return gen.Laplacian(gen.Grid3D27(88, 88, 88), 1e-4)
+}
+
+// BenchmarkVCycleF64Apply is the f64 half of the mixed-precision
+// V-cycle pair: one V-cycle application through float64-valued level
+// operators on the large precision benchmark system. Compare
+// BenchmarkVCycleF32Apply; the ratio is recorded in BENCH_PR8.json as
+// VCycleF32_vs_F64.
+func BenchmarkVCycleF64Apply(b *testing.B) {
+	benchVCyclePrecision(b, sparse.PrecisionF64)
+}
+
+// BenchmarkVCycleF32Apply is the f32 half: the same V-cycle through
+// float32-valued operators (f64 vectors, f64 accumulation — only the
+// stored bytes shrink).
+func BenchmarkVCycleF32Apply(b *testing.B) {
+	benchVCyclePrecision(b, sparse.PrecisionF32)
+}
+
+func benchVCyclePrecision(b *testing.B, prec sparse.Precision) {
+	a := precisionBenchSystem()
+	h, err := NewAMG(a, AMGOptions{Precision: prec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.Rows
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	h.Precondition(r, z) // touch every level once before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Precondition(r, z)
+	}
+}
+
+// precisionServeStream is the request stream of the mixed-precision
+// serving pair: a 27-point 56^3 system stepped through 3 same-pattern
+// value updates, each served once — a time-stepping workload where
+// every request pays a numeric refresh plus an AMG-CG solve. (Smaller
+// than the V-cycle pair's system on purpose: a full CG solve per step
+// multiplies the per-cycle cost ~15x, and at 88^3 the pair would
+// dominate the bench run's wall clock.) The refresh cost (f64 SpGEMM
+// replay) is identical across precisions; what the f32 service saves
+// is the V-cycle and outer matvec bandwidth of every CG iteration.
+func precisionServeStream() []serveBenchRequest {
+	base := gen.Laplacian(gen.Grid3D27(56, 56, 56), 1e-4)
+	rhs := make([]float64, base.Rows)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%13)/13
+	}
+	var mix []serveBenchRequest
+	for v := 0; v < 3; v++ {
+		a := base.Clone()
+		a.Scale(1 + 0.25*float64(v))
+		mix = append(mix, serveBenchRequest{a: a, b: rhs})
+	}
+	return mix
+}
+
+// BenchmarkServePrecisionF64 serves the refresh+solve stream with the
+// default all-f64 policy. Compare BenchmarkServePrecisionF32; the ratio
+// is recorded in BENCH_PR8.json as ServeF32_vs_F64. One op = the whole
+// 3-step stream.
+func BenchmarkServePrecisionF64(b *testing.B) {
+	benchServePrecision(b, sparse.PrecisionF64)
+}
+
+// BenchmarkServePrecisionF32 is the same stream through a service
+// configured with Config.Precision = f32: f32-valued hierarchy levels
+// and outer operator, f64 CG recurrence, bitwise-deterministic serving.
+func BenchmarkServePrecisionF32(b *testing.B) {
+	benchServePrecision(b, sparse.PrecisionF32)
+}
+
+func benchServePrecision(b *testing.B, prec sparse.Precision) {
+	mix := precisionServeStream()
+	s := serve.New(serve.Config{Tol: 1e-8, MaxIter: 400, Precision: prec, CacheCapacity: 4})
+	ctx := context.Background()
+	// Warm pass: the one cold hierarchy build happens here, so every
+	// measured op pays the same steady-state refresh+solve work.
+	for _, r := range mix {
+		if _, _, err := s.Solve(ctx, r.a, r.b); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range mix {
+			if _, _, err := s.Solve(ctx, r.a, r.b); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

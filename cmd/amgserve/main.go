@@ -75,9 +75,13 @@ type solveResponse struct {
 	Batched int    `json:"batched"`
 	// Sharded/Subdomains report the domain-decomposed path (requests at
 	// or above -shard-threshold rows).
-	Sharded    bool           `json:"sharded,omitempty"`
-	Subdomains int            `json:"subdomains,omitempty"`
-	Columns    []columnResult `json:"columns"`
+	Sharded    bool `json:"sharded,omitempty"`
+	Subdomains int  `json:"subdomains,omitempty"`
+	// Precision is the operator value precision that served the solve
+	// ("f64", "f32", or "auto" for mixed per-level storage); the CG
+	// recurrence itself is always float64.
+	Precision string         `json:"precision"`
+	Columns   []columnResult `json:"columns"`
 	// X mirrors Columns[0].X for single-RHS requests whose column
 	// converged, so the common case stays a one-field read; an
 	// unconverged iterate is never surfaced through the convenience
@@ -110,13 +114,20 @@ func main() {
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 500, "CG iteration cap")
 	threads := flag.Int("threads", 0, "solver worker count, 0 = all cores")
+	precName := flag.String("precision", "f64", "operator value precision: f64, f32, auto (f32 below the finest level; CG recurrence stays f64)")
 	shardThreshold := flag.Int("shard-threshold", 0, "route requests with at least this many rows through domain-decomposed sharded solves, 0 disables (size -cache for the per-subdomain entries)")
 	shardSubdomains := flag.Int("shard-subdomains", 0, "subdomain count for sharded solves (rounded up to a power of two), 0 = rows/256")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight solves after SIGTERM before forcing exit")
 	flag.Parse()
+	prec, err := sparse.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	svc := serve.New(serve.Config{
 		AMG:             amg.Options{Threads: *threads},
+		Precision:       prec,
 		Tol:             *tol,
 		MaxIter:         *maxIter,
 		CacheCapacity:   *cache,
@@ -254,7 +265,8 @@ func (ap *app) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := solveResponse{Outcome: stats.Outcome.String(), Batched: stats.Batched,
-		Sharded: stats.Sharded, Subdomains: stats.Subdomains}
+		Sharded: stats.Sharded, Subdomains: stats.Subdomains,
+		Precision: stats.Precision.String()}
 	for j, x := range xs {
 		cr := columnResult{X: x}
 		if j < len(stats.Columns) {

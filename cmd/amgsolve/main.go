@@ -44,11 +44,17 @@ func main() {
 	threads := flag.Int("threads", 0, "worker count (0 = all cores)")
 	resetup := flag.Int("resetup", 0, "re-run the numeric setup N times on same-pattern perturbed values and report the re-setup ratio")
 	formatName := flag.String("format", "auto", "per-level operator format: auto, csr, sell")
+	precName := flag.String("precision", "f64", "operator value precision: f64, f32, auto (f32 below the finest level; CG recurrence stays f64)")
 	rcm := flag.Bool("rcm", false, "reorder the system with reverse Cuthill-McKee before solving (solution is inverse-permuted back)")
 	schwarzSubs := flag.Int("schwarz", 0, "precondition with K-subdomain two-level additive Schwarz instead of a single AMG hierarchy (rounded up to a power of two), 0 = off")
 	overlap := flag.Int("overlap", -1, "Schwarz BFS overlap depth; 0 = explicit block Jacobi, -1 = default (1)")
 	flag.Parse()
 	format, err := sparse.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prec, err := sparse.ParsePrecision(*precName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -112,7 +118,7 @@ func main() {
 		precond, refresh = p, p.Refresh
 	} else {
 		start := time.Now()
-		h, err := amg.Build(a, amg.Options{Aggregate: aggFn, Threads: *threads, Format: format})
+		h, err := amg.Build(a, amg.Options{Aggregate: aggFn, Threads: *threads, Format: format, Precision: prec})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -122,7 +128,7 @@ func main() {
 			h.NumLevels(), h.OperatorComplexity(), setup.Seconds())
 		fmt.Printf("formats:")
 		for _, l := range h.Levels {
-			fmt.Printf(" %s(%d)", l.Format(), l.A.Rows)
+			fmt.Printf(" %s/%s(%d)", l.Format(), l.Precision(), l.A.Rows)
 		}
 		fmt.Println()
 		precond = h
@@ -143,8 +149,14 @@ func main() {
 	}
 	// The outer CG matvec runs through the same format policy as the
 	// hierarchy levels, so -format sell accelerates the fine-grid SpMV
-	// of every iteration too.
-	aop, err := sparse.NewOperator(a, format, 0)
+	// of every iteration too. The precision policy applies only under a
+	// full -precision f32: under auto the finest level stays f64, and the
+	// outer operator matches it.
+	outerPrec := sparse.PrecisionF64
+	if prec == sparse.PrecisionF32 {
+		outerPrec = sparse.PrecisionF32
+	}
+	aop, err := sparse.NewOperatorPrec(a, format, 0, outerPrec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

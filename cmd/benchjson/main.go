@@ -69,6 +69,7 @@ func main() {
 	var ratios ratioFlags
 	flag.Var(&ratios, "ratio", "derived ratio NAME=NUM/DEN of two benchmarks' ns/op (repeatable)")
 	maxDrop := flag.Float64("maxdrop", 0, "fail when a derived ratio drops more than this percent below the baseline's (0 disables the gate)")
+	force := flag.Bool("force", false, "compare against a baseline recorded at a different GOMAXPROCS anyway")
 	flag.Parse()
 
 	cur, procs, err := parseBench(os.Stdin)
@@ -80,19 +81,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
 
 	var base map[string]Metrics
 	var baseRatios map[string]float64
 	if *baseline != "" {
-		base, baseRatios, err = readBaseline(*baseline)
+		var baseProcs int
+		base, baseRatios, baseProcs, err = readBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-	}
-
-	if procs == 0 {
-		procs = runtime.GOMAXPROCS(0)
+		// Cross-parallelism comparisons are not perf trajectories: a
+		// baseline measured at a different GOMAXPROCS makes every speedup
+		// and ratio gate meaningless. Refuse unless explicitly overridden.
+		if err := checkProcsMatch(procs, baseProcs, *baseline, *force); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	f := File{Label: *label, GoVersion: runtime.Version(), GoMaxProcs: procs, Benchmarks: map[string]Entry{}}
 	for name, m := range cur {
@@ -108,7 +116,7 @@ func main() {
 		f.Benchmarks[name] = e
 	}
 	for _, def := range ratios {
-		name, num, den, err := parseRatio(def, cur)
+		name, num, den, err := parseRatio(def, cur, baseRatios)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -165,8 +173,28 @@ func main() {
 	}
 }
 
+// checkProcsMatch rejects a baseline recorded at a different GOMAXPROCS
+// than the current run (unless forced): the speedup columns and the
+// -maxdrop ratio gate only mean anything when both sides measured the
+// same parallelism. Baselines that never recorded their GOMAXPROCS
+// (pre-trajectory files) are accepted — there is nothing to compare.
+func checkProcsMatch(procs, baseProcs int, baseline string, force bool) error {
+	if baseProcs == 0 || baseProcs == procs {
+		return nil
+	}
+	if force {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: comparing GOMAXPROCS=%d run against %s recorded at GOMAXPROCS=%d (-force)\n",
+			procs, baseline, baseProcs)
+		return nil
+	}
+	return fmt.Errorf("this run used GOMAXPROCS=%d but baseline %s was recorded at GOMAXPROCS=%d; "+
+		"rerun with the same parallelism (make bench BENCHPROCS=%d) or pass -force to compare anyway",
+		procs, baseline, baseProcs, baseProcs)
+}
+
 // ratioDrops compares the derived ratios against the baseline's and
-// reports every one that fell more than maxDrop percent. Ratios only
+// reports every one that fell more than maxDrop percent — strictly
+// more: a ratio sitting exactly at the gate passes. Ratios only
 // one side defines are skipped: a new ratio has no history to regress
 // against, and a retired one is a definition change, not a slowdown.
 func ratioDrops(cur, base map[string]float64, maxDrop float64) []string {
@@ -197,8 +225,11 @@ func ratioDrops(cur, base map[string]float64, maxDrop float64) []string {
 func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
 
 // parseRatio resolves a NAME=NUM/DEN definition against the parsed
-// benchmark metrics, returning the two ns/op values.
-func parseRatio(def string, cur map[string]Metrics) (name string, num, den float64, err error) {
+// benchmark metrics, returning the two ns/op values. baseRatios (may be
+// nil) is consulted only to enrich the missing-benchmark error: when
+// the baseline recorded a value for the ratio, the error shows what the
+// trajectory is about to lose.
+func parseRatio(def string, cur map[string]Metrics, baseRatios map[string]float64) (name string, num, den float64, err error) {
 	name, expr, ok := strings.Cut(def, "=")
 	if !ok {
 		return "", 0, 0, fmt.Errorf("bad -ratio %q (want NAME=NUM/DEN)", def)
@@ -225,9 +256,13 @@ func parseRatio(def string, cur map[string]Metrics) (name string, num, den float
 			avail = append(avail, b)
 		}
 		sort.Strings(avail)
+		recorded := ""
+		if b, ok := baseRatios[name]; ok {
+			recorded = fmt.Sprintf("; the baseline recorded %s at %.3fx", name, b)
+		}
 		return "", 0, 0, fmt.Errorf("-ratio %s: benchmark(s) %s missing from this run (have: %s); "+
-			"check the -bench pattern and the benchmark names in the -ratio definition",
-			name, strings.Join(missing, ", "), strings.Join(avail, ", "))
+			"check the -bench pattern and the benchmark names in the -ratio definition%s",
+			name, strings.Join(missing, ", "), strings.Join(avail, ", "), recorded)
 	}
 	if d.NsPerOp == 0 {
 		return "", 0, 0, fmt.Errorf("-ratio %s: zero ns/op denominator", name)
@@ -288,16 +323,17 @@ func parseBench(src io.Reader) (map[string]Metrics, int, error) {
 }
 
 // readBaseline accepts a previous benchjson file and returns its
-// current-column metrics keyed by benchmark name, plus its derived
-// ratios for the -maxdrop regression gate.
-func readBaseline(path string) (map[string]Metrics, map[string]float64, error) {
+// current-column metrics keyed by benchmark name, its derived ratios
+// for the -maxdrop regression gate, and the GOMAXPROCS it recorded
+// (0 when the file predates that field).
+func readBaseline(path string) (map[string]Metrics, map[string]float64, int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	out := map[string]Metrics{}
 	for name, e := range f.Benchmarks {
@@ -305,7 +341,7 @@ func readBaseline(path string) (map[string]Metrics, map[string]float64, error) {
 			out[name] = *e.Cur
 		}
 	}
-	return out, f.Ratios, nil
+	return out, f.Ratios, f.GoMaxProcs, nil
 }
 
 // marshalStable renders the file with sorted benchmark keys.

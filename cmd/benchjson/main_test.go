@@ -10,7 +10,7 @@ func TestParseRatio(t *testing.T) {
 		"SpMVHot":  {NsPerOp: 300},
 		"SpMVSELL": {NsPerOp: 200},
 	}
-	name, num, den, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur)
+	name, num, den, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestParseRatio(t *testing.T) {
 // the available ones — never emit a zero or stale ratio.
 func TestParseRatioMissingBenchmark(t *testing.T) {
 	cur := map[string]Metrics{"SpMVHot": {NsPerOp: 300}}
-	_, _, _, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur)
+	_, _, _, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur, nil)
 	if err == nil {
 		t.Fatal("expected an error for a missing benchmark")
 	}
@@ -35,9 +35,30 @@ func TestParseRatioMissingBenchmark(t *testing.T) {
 		}
 	}
 	// Both sides missing: both named.
-	_, _, _, err = parseRatio("R=A/B", cur)
+	_, _, _, err = parseRatio("R=A/B", cur, nil)
 	if err == nil || !strings.Contains(err.Error(), "A, B") {
 		t.Fatalf("expected both missing benchmarks named, got %v", err)
+	}
+}
+
+// TestParseRatioMissingIncludesBaselineValue: when the baseline recorded
+// the ratio about to go missing, the error says what value the
+// trajectory would lose — the difference between "typo in the -bench
+// pattern" and "benchmark genuinely retired" is visible at a glance.
+func TestParseRatioMissingIncludesBaselineValue(t *testing.T) {
+	cur := map[string]Metrics{"SpMVHot": {NsPerOp: 300}}
+	baseRatios := map[string]float64{"SELL_vs_CSR": 1.512}
+	_, _, _, err := parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur, baseRatios)
+	if err == nil {
+		t.Fatal("expected an error for a missing benchmark")
+	}
+	if !strings.Contains(err.Error(), "1.512x") {
+		t.Fatalf("error %q does not include the baseline's recorded 1.512x", err)
+	}
+	// No baseline record for the ratio: no phantom value in the message.
+	_, _, _, err = parseRatio("SELL_vs_CSR=SpMVHot/SpMVSELL", cur, map[string]float64{"Other": 2})
+	if err == nil || strings.Contains(err.Error(), "recorded") {
+		t.Fatalf("unexpected baseline mention without a record: %v", err)
 	}
 }
 
@@ -100,10 +121,48 @@ func TestRatioDrops(t *testing.T) {
 	}
 }
 
+// TestRatioDropsExactGateBoundary pins the gate comparison as strictly
+// greater-than: a ratio that fell by exactly -maxdrop percent passes,
+// and one epsilon past it fails. 4.0 -> 3.6 is exactly -10%.
+func TestRatioDropsExactGateBoundary(t *testing.T) {
+	base := map[string]float64{"R": 4.0}
+	if drops := ratioDrops(map[string]float64{"R": 3.6}, base, 10); drops != nil {
+		t.Fatalf("exact -10%% drop tripped a 10%% gate: %v", drops)
+	}
+	if drops := ratioDrops(map[string]float64{"R": 3.5999}, base, 10); len(drops) != 1 {
+		t.Fatalf("drop just past the gate not reported: %v", drops)
+	}
+}
+
+// TestCheckProcsMatch: a baseline recorded at a different GOMAXPROCS is
+// refused with an error naming both values, -force downgrades the
+// refusal to a warning, and files without a recorded GOMAXPROCS (or
+// with a matching one) pass.
+func TestCheckProcsMatch(t *testing.T) {
+	err := checkProcsMatch(8, 1, "BENCH_PR7.json", false)
+	if err == nil {
+		t.Fatal("mismatched GOMAXPROCS accepted without -force")
+	}
+	for _, want := range []string{"GOMAXPROCS=8", "GOMAXPROCS=1", "BENCH_PR7.json", "-force"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if err := checkProcsMatch(8, 1, "BENCH_PR7.json", true); err != nil {
+		t.Fatalf("-force still refused: %v", err)
+	}
+	if err := checkProcsMatch(8, 8, "b.json", false); err != nil {
+		t.Fatalf("matching GOMAXPROCS refused: %v", err)
+	}
+	if err := checkProcsMatch(8, 0, "b.json", false); err != nil {
+		t.Fatalf("baseline without recorded GOMAXPROCS refused: %v", err)
+	}
+}
+
 func TestParseRatioMalformed(t *testing.T) {
 	cur := map[string]Metrics{"X": {NsPerOp: 1}}
 	for _, def := range []string{"noequals", "name=noslash"} {
-		if _, _, _, err := parseRatio(def, cur); err == nil {
+		if _, _, _, err := parseRatio(def, cur, nil); err == nil {
 			t.Fatalf("accepted malformed ratio %q", def)
 		}
 	}

@@ -109,8 +109,35 @@ type Options struct {
 	// fails fast — see sparse.CheckSigma). The scope itself only takes
 	// effect when a level converts to SELL.
 	SellSigma int
+	// Precision selects the value storage width of the apply-side level
+	// operators (and the prolongator/restriction transfer kernels):
+	// PrecisionF64 (default) stores everything in float64; PrecisionF32
+	// stores f32 values on every level; PrecisionAuto keeps the finest
+	// level f64 and stores f32 below it. The setup side — diagonals,
+	// spectral-radius estimates, SpGEMM plan replays, the dense coarsest
+	// solve — always computes in float64 from the CSR matrices, and every
+	// f32 kernel accumulates in float64, so each precision is bitwise
+	// deterministic across formats and worker counts. See DESIGN.md
+	// ("Mixed precision").
+	Precision sparse.Precision
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
+}
+
+// levelPrecision resolves the Precision policy for one level's
+// apply-side operator: PrecisionAuto keeps the finest level (the one
+// whose residual feeds convergence detection) at full precision and
+// stores f32 below it.
+func (o Options) levelPrecision(level int) sparse.Precision {
+	switch o.Precision {
+	case sparse.PrecisionF32:
+		return sparse.PrecisionF32
+	case sparse.PrecisionAuto:
+		if level > 0 {
+			return sparse.PrecisionF32
+		}
+	}
+	return sparse.PrecisionF64
 }
 
 func (o Options) withDefaults() Options {
@@ -151,13 +178,20 @@ type Level struct {
 	R    *sparse.Matrix // restriction (P^T)
 	Agg  coarsen.Aggregation
 	dinv []float64
-	// op is the apply-side view of A in the level's chosen format (A
-	// itself for CSR; a SELL conversion otherwise). The setup side (plan
-	// replays, graph extraction) always works on the CSR A.
+	// op is the apply-side view of A in the level's chosen format and
+	// precision (A itself for f64 CSR; a SELL/CSR32/SELL32 conversion
+	// otherwise). The setup side (plan replays, graph extraction) always
+	// works on the CSR A.
 	op sparse.Operator
-	// sell is non-nil when op is a SELL conversion; the numeric phase
-	// refreshes its values through the cached entry schedule.
-	sell *sparse.SELL
+	// fill is non-nil when op caches values (SELL, CSR32, SELL32); the
+	// numeric phase refreshes them through the cached entry schedule.
+	fill sparse.ValueFiller
+	// pop/rop are the apply-side views of P and R used by the V-cycle's
+	// transfer kernels (P and R themselves at full precision; CSR32
+	// conversions when the coarse side of the transfer is f32), with
+	// pFill/rFill their refresh surfaces.
+	pop, rop     sparse.Operator
+	pFill, rFill sparse.ValueFiller
 	// rho is the estimated spectral radius of D^{-1}A on this level,
 	// used by prolongator smoothing and the Chebyshev smoother.
 	rho float64
@@ -339,19 +373,20 @@ func BuildSymbolicCtx(ctx context.Context, a *sparse.Matrix, opt Options) (*Hier
 		}
 		l.Agg = agg
 
-		// Choose the level's apply-side operator format — only now that
-		// the level is known not to be the coarsest (the coarsest level
-		// is solved densely, its op never applied, so converting it would
-		// be pure waste). The SELL conversion is pattern-only here
-		// (values land in BuildNumeric); its row sort and entry schedule
-		// are part of the symbolic state.
-		op, err := sparse.NewOperator(cur, opt.Format, opt.SellSigma)
+		// Choose the level's apply-side operator format and precision —
+		// only now that the level is known not to be the coarsest (the
+		// coarsest level is solved densely, its op never applied, so
+		// converting it would be pure waste). The conversions are
+		// pattern-only here (values land in BuildNumeric); the SELL row
+		// sort and the value-replay entry schedules are part of the
+		// symbolic state.
+		op, err := sparse.NewOperatorPrec(cur, opt.Format, opt.SellSigma, opt.levelPrecision(level))
 		if err != nil {
 			return nil, fmt.Errorf("amg: level %d operator format: %w", level, err)
 		}
 		l.op = op
-		if s, ok := op.(*sparse.SELL); ok {
-			l.sell = s
+		if f, ok := op.(sparse.ValueFiller); ok {
+			l.fill = f
 		}
 
 		p := coarsen.Prolongator(agg)
@@ -371,6 +406,23 @@ func BuildSymbolicCtx(ctx context.Context, a *sparse.Matrix, opt Options) (*Hier
 		}
 		lp.rap = rp
 		l.P, l.R = p, r
+		// The transfer kernels (restriction SpMV, prolongation SpMVAdd)
+		// follow the precision of the coarse side they move data to and
+		// from: under PrecisionAuto the fine level's residual stays f64
+		// but the traffic into the f32 coarse hierarchy is f32.
+		l.pop, l.rop = p, r
+		if opt.levelPrecision(level+1) == sparse.PrecisionF32 {
+			pop, err := sparse.NewCSR32(p)
+			if err != nil {
+				return nil, fmt.Errorf("amg: level %d prolongator precision: %w", level, err)
+			}
+			rop, err := sparse.NewCSR32(r)
+			if err != nil {
+				return nil, fmt.Errorf("amg: level %d restriction precision: %w", level, err)
+			}
+			l.pop, l.rop = pop, rop
+			l.pFill, l.rFill = pop, rop
+		}
 		cur = rp.NewMatrix()
 	}
 
@@ -487,6 +539,17 @@ func (h *Hierarchy) validateValues(a *sparse.Matrix, checkSign bool) error {
 			return fmt.Errorf("amg: matrix has non-finite value at entry %d", p)
 		}
 	}
+	// An f32 finest level additionally needs every fine value inside the
+	// float32 range; checking here (not mid-replay) keeps overflow a
+	// pre-mutation rejection with the previous operator still serving.
+	// Coarse-level or smoothed-prolongator values derived out of range
+	// can only surface during the replay and invalidate like any other
+	// mid-replay failure.
+	if h.opt.levelPrecision(0) == sparse.PrecisionF32 {
+		if err := sparse.CheckF32Range(a.Val); err != nil {
+			return fmt.Errorf("amg: %w", err)
+		}
+	}
 	prev := h.Levels[0].dinv // same sign as the previous diagonal (it is its inverse)
 	for i, p := range h.diagPos {
 		diag := 0.0
@@ -525,12 +588,13 @@ func (h *Hierarchy) numeric(ctx context.Context, a *sparse.Matrix) error {
 			}
 		}
 		cur := l.A
-		// Refresh the level's apply-side operator: SELL levels gather the
-		// new values through the cached entry schedule; CSR levels just
-		// re-point (the fine level's A was swapped above).
-		if l.sell != nil {
-			if err := l.sell.FillValues(cur); err != nil {
-				return fmt.Errorf("amg: level %d SELL refresh: %w", level, err)
+		// Refresh the level's apply-side operator: value-caching formats
+		// (SELL, CSR32, SELL32) gather the new values through their cached
+		// entry schedules; plain f64 CSR levels just re-point (the fine
+		// level's A was swapped above).
+		if l.fill != nil {
+			if err := l.fill.FillValues(cur); err != nil {
+				return fmt.Errorf("amg: level %d operator refresh: %w", level, err)
 			}
 		} else {
 			l.op = cur
@@ -581,6 +645,17 @@ func (h *Hierarchy) numeric(ctx context.Context, a *sparse.Matrix) error {
 		}
 		if err := lp.trans.Replay(rt, l.P, l.R); err != nil {
 			return fmt.Errorf("amg: level %d restriction: %w", level, err)
+		}
+		// Refresh the f32 transfer views now that P and R carry their
+		// final values for this numeric pass. Like any mid-replay failure,
+		// an out-of-range smoothed value invalidates the hierarchy.
+		if l.pFill != nil {
+			if err := l.pFill.FillValues(l.P); err != nil {
+				return fmt.Errorf("amg: level %d prolongator refresh: %w", level, err)
+			}
+			if err := l.rFill.FillValues(l.R); err != nil {
+				return fmt.Errorf("amg: level %d restriction refresh: %w", level, err)
+			}
 		}
 		if err := lp.rap.Replay(rt, l.R, cur, l.P, h.Levels[level+1].A); err != nil {
 			return fmt.Errorf("amg: level %d Galerkin product: %w", level, err)
@@ -657,11 +732,24 @@ func (h *Hierarchy) NumLevels() int { return len(h.Levels) }
 
 // Format reports the storage format of the level's apply-side operator.
 func (l *Level) Format() sparse.Format {
-	if l.sell != nil {
+	switch l.op.(type) {
+	case *sparse.SELL, *sparse.SELL32:
 		return sparse.FormatSELL
 	}
 	return sparse.FormatCSR
 }
+
+// Precision reports the value storage precision of the level's
+// apply-side operator. The coarsest level reports f64 under every
+// policy: it is solved by the dense f64 factorization and its operator
+// is never applied.
+func (l *Level) Precision() sparse.Precision {
+	return sparse.OperatorPrecision(l.op)
+}
+
+// Precision reports the hierarchy's precision policy (the Options value
+// it was built with; per-level resolution is Level.Precision).
+func (h *Hierarchy) Precision() sparse.Precision { return h.opt.Precision }
 
 // OperatorComplexity is the sum of nnz over all level operators divided by
 // nnz of the fine operator — the standard AMG grid quality metric.
@@ -734,11 +822,11 @@ func (h *Hierarchy) vcycle(level int) {
 	// immediately.
 	l.op.SpMVResidual(h.rt, l.b, l.x, l.r)
 	next := h.Levels[level+1]
-	l.R.SpMV(h.rt, l.r, next.b)
+	l.rop.SpMV(h.rt, l.r, next.b)
 	h.vcycle(level + 1)
 	// Fused prolongation + correction: x += P e_c in one traversal,
 	// handing the corrected iterate straight to the post-smoother.
-	l.P.SpMVAdd(h.rt, next.x, l.x)
+	l.pop.SpMVAdd(h.rt, next.x, l.x)
 	h.smooth(l, h.opt.PostSweeps, false)
 }
 

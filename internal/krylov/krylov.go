@@ -2,6 +2,15 @@
 // solver experiments: preconditioned conjugate gradient (Table V) and
 // preconditioned restarted GMRES (Table VI).
 //
+// Precision: every solver in this package runs its recurrence entirely
+// in float64 — iterates, search directions, dot products, and residual
+// norms — regardless of the operator's stored value precision. A
+// float32-valued operator (sparse.PrecisionF32) changes only the bytes
+// the matvec streams; its kernels accept and produce float64 vectors
+// with float64 accumulation, so the float64 recurrence guards the
+// convergence of mixed-precision solves. Nothing in this package
+// branches on precision.
+//
 // Concurrency: the solver functions are stateless between the operator,
 // the vectors, and the workspace they are handed — concurrent solves
 // are safe exactly when those are not shared: operators are read-only
@@ -243,8 +252,11 @@ func (w *Workspace) ensureBatch(n, k int) {
 // method. x holds the initial guess on entry and the solution on exit.
 // Iterations stop when the recurrence residual drops below tol*||b|| or
 // maxIter is reached; Stats reports the true final residual. a is any
-// operator format (CSR or SELL); formats produce bit-identical kernels,
-// so the solve trajectory is independent of the format choice.
+// operator format (CSR or SELL, in either value precision); formats
+// produce bit-identical kernels, so the solve trajectory is independent
+// of the format choice. The recurrence is always float64: an f32-valued
+// operator perturbs the matvec results (values were rounded once at
+// store time) but never the arithmetic of the iteration itself.
 func CG(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner) (Stats, error) {
 	return CGWith(rt, a, b, x, tol, maxIter, m, nil)
 }

@@ -98,6 +98,14 @@ type Config struct {
 	// to hierarchy construction and the V-cycle preconditioner too.
 	// Results are deterministic for every choice.
 	Threads int
+	// Precision selects the value storage width of served hierarchies
+	// and, under PrecisionF32, of the outer CG operator too (the outer
+	// recurrence, dot products, and residual norms always stay float64,
+	// so convergence detection is unchanged in kind). Applied to the
+	// hierarchies unless AMG.Precision is set explicitly, mirroring
+	// Threads. The sharded (Schwarz) path keeps full precision locals
+	// and ignores this field. Default PrecisionF64.
+	Precision sparse.Precision
 	// ShardThreshold, when positive, routes requests with at least that
 	// many rows through the sharded solve path: the matrix graph is
 	// partitioned, each subdomain gets its own cache entry (keyed
@@ -156,6 +164,9 @@ func (c Config) withDefaults() Config {
 		// a Threads bound that only throttled the outer CG kernels would
 		// be a trap, so the hierarchy inherits it unless set explicitly.
 		c.AMG.Threads = c.Threads
+	}
+	if c.AMG.Precision == sparse.PrecisionF64 {
+		c.AMG.Precision = c.Precision
 	}
 	return c
 }
@@ -244,6 +255,10 @@ type RequestStats struct {
 	// solvers its preconditioner applied.
 	Sharded    bool
 	Subdomains int
+	// Precision is the hierarchy precision policy that served the solve
+	// (the resolved Config.Precision; PrecisionF64 on the sharded path,
+	// which keeps full-precision locals).
+	Precision sparse.Precision
 }
 
 // Service is a concurrent solve service. Create one with New; the zero
@@ -296,13 +311,14 @@ type entry struct {
 	// pattern arrays and differ only in Val).
 	fine, spare *sparse.Matrix
 	// op is the outer-solve view of fine in the configured operator
-	// format (fine itself for CSR; a SELL conversion refreshed through
-	// sell.FillValues otherwise) — the same format policy the hierarchy
-	// levels follow, so the per-iteration outer SpMM gets the chunked
-	// kernels too. Formats are bit-compatible: the choice never changes
-	// any served result.
+	// format and precision (fine itself for f64 CSR; a value-caching
+	// conversion refreshed through fill.FillValues otherwise) — the same
+	// policy the hierarchy's finest level follows, so the per-iteration
+	// outer SpMM gets the chunked (and, under PrecisionF32, halved-
+	// bandwidth) kernels too. Formats are bit-compatible; a precision is
+	// bitwise deterministic within itself.
 	op   sparse.Operator
-	sell *sparse.SELL
+	fill sparse.ValueFiller
 	// pending counts batches created but not yet solved; values may not
 	// change while any batch is in flight.
 	pending int
@@ -388,7 +404,7 @@ func (bt *batch) watch(ctx context.Context) (stop func() bool) {
 // next request to observe it — queued on the mutex or resuming from the
 // condition wait — rebuilds from its own matrix.
 func (e *entry) reset() {
-	e.h, e.fine, e.spare, e.op, e.sell = nil, nil, nil, nil, nil
+	e.h, e.fine, e.spare, e.op, e.fill = nil, nil, nil, nil, nil
 }
 
 // New returns a Service with the given configuration (zero fields take
@@ -484,6 +500,7 @@ func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float
 	if s.cfg.ShardThreshold > 0 && a.Rows >= s.cfg.ShardThreshold {
 		xs, rst, err = s.solveSharded(ctx, a, bs, &st)
 	} else {
+		st.Precision = s.cfg.AMG.Precision
 		key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
 		e, collision := s.lookup(key, a)
 		if collision {
@@ -703,7 +720,15 @@ func (s *Service) buildEntry(ctx context.Context, e *entry, a *sparse.Matrix) (e
 	if err != nil {
 		return err
 	}
-	op, err := sparse.NewOperator(fine, s.cfg.AMG.Format, s.cfg.AMG.SellSigma)
+	// The outer CG matvec is the finest-level traversal: it follows the
+	// finest level's precision — f32 only under the full PrecisionF32
+	// policy (PrecisionAuto keeps the finest level, whose residual feeds
+	// convergence detection, at full precision).
+	outerPrec := sparse.PrecisionF64
+	if s.cfg.AMG.Precision == sparse.PrecisionF32 {
+		outerPrec = sparse.PrecisionF32
+	}
+	op, err := sparse.NewOperatorPrec(fine, s.cfg.AMG.Format, s.cfg.AMG.SellSigma, outerPrec)
 	if err != nil {
 		return fmt.Errorf("outer operator format: %w", err)
 	}
@@ -714,9 +739,9 @@ func (s *Service) buildEntry(ctx context.Context, e *entry, a *sparse.Matrix) (e
 		RowPtr: fine.RowPtr, Col: fine.Col, // pattern arrays are immutable and shared
 		Val: make([]float64, len(fine.Val)),
 	}
-	e.op, e.sell = op, nil
-	if sl, ok := op.(*sparse.SELL); ok {
-		e.sell = sl
+	e.op, e.fill = op, nil
+	if f, ok := op.(sparse.ValueFiller); ok {
+		e.fill = f
 	}
 	e.ws = krylov.NewWorkspace(fine.Rows)
 	return nil
@@ -744,14 +769,16 @@ func (s *Service) refreshEntry(ctx context.Context, e *entry, a *sparse.Matrix) 
 		return err
 	}
 	e.fine, e.spare = e.spare, e.fine
-	if e.sell != nil {
-		// The SELL conversion gathers the new values through its
-		// cached entry schedule; CSR outer operators just re-point.
-		// A failure is impossible by construction (the ping-pong
-		// matrices share the conversion's pattern) — but the buffers
-		// are already swapped, so flag it for the deep-failure path
-		// so nothing stale is ever served.
-		if err := e.sell.FillValues(e.fine); err != nil {
+	if e.fill != nil {
+		// The value-caching conversion gathers the new values through
+		// its cached entry schedule; plain f64 CSR outer operators just
+		// re-point. A failure is impossible by construction (the
+		// ping-pong matrices share the conversion's pattern, and an f32
+		// outer operator implies the hierarchy's f32 finest level already
+		// range-checked these values) — but the buffers are already
+		// swapped, so flag it for the deep-failure path so nothing stale
+		// is ever served.
+		if err := e.fill.FillValues(e.fine); err != nil {
 			return fmt.Errorf("outer operator refresh: %w: %w", errEntryDirty, err)
 		}
 	} else {

@@ -634,7 +634,10 @@ func TestServeSELLOuterOperatorBitwise(t *testing.T) {
 	sell.mu.Lock()
 	e, _ := sell.entries[key].(*entry)
 	sell.mu.Unlock()
-	if e == nil || e.sell == nil {
+	if e == nil || e.fill == nil {
 		t.Fatal("FormatSELL service did not install a SELL outer operator")
+	}
+	if _, ok := e.op.(*sparse.SELL); !ok {
+		t.Fatalf("FormatSELL outer operator is %T, want *sparse.SELL", e.op)
 	}
 }

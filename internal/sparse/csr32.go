@@ -1,0 +1,285 @@
+package sparse
+
+import (
+	"fmt"
+
+	"mis2go/internal/par"
+)
+
+// CSR32 is the float32-valued CSR operator: the row pointers and column
+// indices are shared with the source *Matrix (the pattern is identical
+// by construction and never mutated here), only the values are stored
+// down-converted. Every kernel takes float64 vectors and accumulates in
+// float64 — each stored value is widened back to float64 before its
+// multiply — in the same strict left-to-right per-row order as the f64
+// CSR kernels, so results are bitwise deterministic for any worker
+// count. What changes versus *Matrix is only the bytes streamed per
+// stored value (4 instead of 8) and one rounding of each value at
+// store time.
+//
+// Concurrency: like *Matrix, all kernels are read-only on the operator
+// and safe for concurrent use; FillValues mutates the stored values and
+// must be serialized against every reader.
+type CSR32 struct {
+	rows, cols int
+	rowPtr     []int   // shared with the source matrix
+	col        []int32 // shared with the source matrix
+	val        []float32
+}
+
+// NewCSR32 builds the f32-valued view of a, rejecting values outside
+// the float32 range (CheckF32Range) before allocating. The pattern
+// slices are shared with a, not copied: the AMG hierarchy owns both and
+// replays values only.
+func NewCSR32(a *Matrix) (*CSR32, error) {
+	if err := CheckF32Range(a.Val); err != nil {
+		return nil, err
+	}
+	c := &CSR32{rows: a.Rows, cols: a.Cols, rowPtr: a.RowPtr, col: a.Col}
+	c.val = make([]float32, len(a.Val))
+	for p, v := range a.Val {
+		c.val[p] = float32(v)
+	}
+	return c, nil
+}
+
+// FillValues refreshes the stored values from a same-pattern CSR matrix.
+// The float32-range scan runs before any store, so a rejected refresh
+// leaves the previous values serving bitwise unchanged; the conversion
+// loop itself is branch-free (position p converts entry p — the CSR
+// entry schedule is the identity) and allocates nothing. Only the shape
+// and entry count are checked here; pattern identity is the caller's
+// contract.
+func (c *CSR32) FillValues(a *Matrix) error {
+	if a.Rows != c.rows || a.Cols != c.cols || len(a.Val) != len(c.val) {
+		return fmt.Errorf("sparse: CSR32 refresh from %dx%d/%d entries, converted from %dx%d/%d",
+			a.Rows, a.Cols, len(a.Val), c.rows, c.cols, len(c.val))
+	}
+	if err := CheckF32Range(a.Val); err != nil {
+		return err
+	}
+	for p, v := range a.Val {
+		c.val[p] = float32(v)
+	}
+	return nil
+}
+
+// Dims returns the operator shape, implementing Operator.
+func (c *CSR32) Dims() (rows, cols int) { return c.rows, c.cols }
+
+// NNZ returns the number of stored entries.
+func (c *CSR32) NNZ() int { return len(c.col) }
+
+// SpMV computes y = A*x in parallel over rows.
+func (c *CSR32) SpMV(rt *par.Runtime, x, y []float64) {
+	if rt.Serial(c.rows) {
+		c.spmvRange(x, y, 0, c.rows)
+		return
+	}
+	rt.For(c.rows, func(lo, hi int) {
+		c.spmvRange(x, y, lo, hi)
+	})
+}
+
+func (c *CSR32) spmvRange(x, y []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := c.col[start:end]
+		vals := c.val[start:end]
+		var s float64
+		for k, j := range cols {
+			s += float64(vals[k]) * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// SpMVResidual computes r = b - A*x in one traversal. r must not alias x.
+func (c *CSR32) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
+	if rt.Serial(c.rows) {
+		c.spmvResidualRange(b, x, r, 0, c.rows)
+		return
+	}
+	rt.For(c.rows, func(lo, hi int) {
+		c.spmvResidualRange(b, x, r, lo, hi)
+	})
+}
+
+func (c *CSR32) spmvResidualRange(b, x, r []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := c.col[start:end]
+		vals := c.val[start:end]
+		var s float64
+		for k, j := range cols {
+			s += float64(vals[k]) * x[j]
+		}
+		r[i] = b[i] - s
+	}
+}
+
+// SpMVAdd computes y += A*x in one traversal. y must not alias x.
+func (c *CSR32) SpMVAdd(rt *par.Runtime, x, y []float64) {
+	if rt.Serial(c.rows) {
+		c.spmvAddRange(x, y, 0, c.rows)
+		return
+	}
+	rt.For(c.rows, func(lo, hi int) {
+		c.spmvAddRange(x, y, lo, hi)
+	})
+}
+
+func (c *CSR32) spmvAddRange(x, y []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := c.col[start:end]
+		vals := c.val[start:end]
+		var s float64
+		for k, j := range cols {
+			s += float64(vals[k]) * x[j]
+		}
+		y[i] += s
+	}
+}
+
+// JacobiSweep computes dst[i] = src[i] + omega*dinv[i]*(b[i] - (A src)[i])
+// in one traversal — the fused damped-Jacobi sweep. The diagonal inverse
+// stays float64 (it is smoother state, not operator storage). src and
+// dst must not alias.
+func (c *CSR32) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, src, dst []float64) {
+	if rt.Serial(c.rows) {
+		c.jacobiSweepRange(b, dinv, omega, src, dst, 0, c.rows)
+		return
+	}
+	rt.For(c.rows, func(lo, hi int) {
+		c.jacobiSweepRange(b, dinv, omega, src, dst, lo, hi)
+	})
+}
+
+func (c *CSR32) jacobiSweepRange(b, dinv []float64, omega float64, src, dst []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		cols := c.col[start:end]
+		vals := c.val[start:end]
+		var s float64
+		for k, j := range cols {
+			s += float64(vals[k]) * src[j]
+		}
+		dst[i] = src[i] + omega*dinv[i]*(b[i]-s)
+	}
+}
+
+// SpMM computes the multi-RHS product Y = A*X for k interleaved
+// right-hand sides (see Matrix.SpMM for the layout).
+func (c *CSR32) SpMM(rt *par.Runtime, k int, x, y []float64) {
+	if k == 1 {
+		c.SpMV(rt, x, y)
+		return
+	}
+	if rt.Serial(c.rows) {
+		c.spmmDispatch(k, x, y, 0, c.rows)
+		return
+	}
+	rt.For(c.rows, func(lo, hi int) {
+		c.spmmDispatch(k, x, y, lo, hi)
+	})
+}
+
+func (c *CSR32) spmmDispatch(k int, x, y []float64, lo, hi int) {
+	switch k {
+	case 4:
+		c.spmm4Range(x, y, lo, hi)
+	case 8:
+		c.spmm8Range(x, y, lo, hi)
+	default:
+		c.spmmRange(k, x, y, lo, hi)
+	}
+}
+
+func (c *CSR32) spmm4Range(x, y []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		var s0, s1, s2, s3 float64
+		for p := rp[i]; p < rp[i+1]; p++ {
+			v := float64(c.val[p])
+			xb := x[int(c.col[p])*4:]
+			xb = xb[:4]
+			s0 += v * xb[0]
+			s1 += v * xb[1]
+			s2 += v * xb[2]
+			s3 += v * xb[3]
+		}
+		yb := y[i*4:]
+		yb = yb[:4]
+		yb[0], yb[1], yb[2], yb[3] = s0, s1, s2, s3
+	}
+}
+
+func (c *CSR32) spmm8Range(x, y []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for p := rp[i]; p < rp[i+1]; p++ {
+			v := float64(c.val[p])
+			xb := x[int(c.col[p])*8:]
+			xb = xb[:8]
+			s0 += v * xb[0]
+			s1 += v * xb[1]
+			s2 += v * xb[2]
+			s3 += v * xb[3]
+			s4 += v * xb[4]
+			s5 += v * xb[5]
+			s6 += v * xb[6]
+			s7 += v * xb[7]
+		}
+		yb := y[i*8:]
+		yb = yb[:8]
+		yb[0], yb[1], yb[2], yb[3] = s0, s1, s2, s3
+		yb[4], yb[5], yb[6], yb[7] = s4, s5, s6, s7
+	}
+}
+
+func (c *CSR32) spmmRange(k int, x, y []float64, lo, hi int) {
+	rp := c.rowPtr
+	for i := lo; i < hi; i++ {
+		yb := y[i*k : i*k+k]
+		for j := range yb {
+			yb[j] = 0
+		}
+		for p := rp[i]; p < rp[i+1]; p++ {
+			v := float64(c.val[p])
+			xb := x[int(c.col[p])*k : int(c.col[p])*k+k]
+			for j, xv := range xb {
+				yb[j] += v * xv
+			}
+		}
+	}
+}
+
+// DiagonalInto fills d with the diagonal entries (zero where absent),
+// widened to float64.
+func (c *CSR32) DiagonalInto(rt *par.Runtime, d []float64) {
+	if rt.Serial(c.rows) {
+		c.diagonalRange(d, 0, c.rows)
+		return
+	}
+	rt.For(c.rows, func(lo, hi int) {
+		c.diagonalRange(d, lo, hi)
+	})
+}
+
+func (c *CSR32) diagonalRange(d []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d[i] = 0
+		for p := c.rowPtr[i]; p < c.rowPtr[i+1]; p++ {
+			if int(c.col[p]) == i {
+				d[i] = float64(c.val[p])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package sparse
+
+import (
+	"fmt"
+
+	"mis2go/internal/par"
+)
+
+// SELL32 is the float32-valued SELL-C-sigma operator: identical packing,
+// permutation, and traversal to *SELL (see sell.go for the layout), with
+// only the packed values stored as float32. Kernels widen each value to
+// float64 before its multiply and keep one float64 accumulator per lane
+// in the canonical left-to-right order, so a SELL32 is bit-identical to
+// the CSR32 of the same matrix for every kernel and worker count — the
+// same format-independence contract the f64 operators have, one
+// precision down.
+//
+// Concurrency: kernels are read-only and safe for concurrent use;
+// FillValues mutates the packed values and must be serialized against
+// every reader.
+type SELL32 struct {
+	rows, cols int
+	sigma      int
+	perm       []int32
+	chunkPtr   []int32
+	width      []int32
+	full       []int32
+	cntPtr     []int32
+	cnt        []uint8
+	col        []int32
+	val        []float32
+	entry      []int32 // packed position -> CSR entry index (value replay)
+}
+
+// NewSELL32 converts a CSR matrix to f32-valued SELL-C-sigma. The
+// packing is delegated to NewSELL — the pattern arrays (permutation,
+// chunk bookkeeping, columns, entry schedule) are adopted from it
+// unchanged, so the two formats can never disagree on layout — and the
+// packed values are down-converted after a CheckF32Range scan.
+func NewSELL32(a *Matrix, sigma int) (*SELL32, error) {
+	f64, err := NewSELL(a, sigma)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckF32Range(a.Val); err != nil {
+		return nil, err
+	}
+	s := &SELL32{
+		rows: f64.rows, cols: f64.cols, sigma: f64.sigma,
+		perm: f64.perm, chunkPtr: f64.chunkPtr, width: f64.width,
+		full: f64.full, cntPtr: f64.cntPtr, cnt: f64.cnt,
+		col: f64.col, entry: f64.entry,
+	}
+	s.val = make([]float32, len(f64.val))
+	for p, v := range f64.val {
+		s.val[p] = float32(v)
+	}
+	return s, nil
+}
+
+// FillValues refreshes the packed values from a same-pattern CSR matrix
+// through the cached entry schedule. The float32-range scan runs before
+// any store, so a rejected refresh leaves the previous values serving
+// bitwise unchanged; the gather itself is branch-free and allocates
+// nothing. Only the shape and entry count are checked here; pattern
+// identity is the caller's contract.
+func (s *SELL32) FillValues(a *Matrix) error {
+	if a.Rows != s.rows || a.Cols != s.cols || len(a.Val) != len(s.val) {
+		return fmt.Errorf("sparse: SELL32 refresh from %dx%d/%d entries, converted from %dx%d/%d",
+			a.Rows, a.Cols, len(a.Val), s.rows, s.cols, len(s.val))
+	}
+	if err := CheckF32Range(a.Val); err != nil {
+		return err
+	}
+	av := a.Val
+	for p, e := range s.entry {
+		s.val[p] = float32(av[e])
+	}
+	return nil
+}
+
+// Dims returns the operator shape, implementing Operator.
+func (s *SELL32) Dims() (rows, cols int) { return s.rows, s.cols }
+
+// NNZ returns the number of stored entries.
+func (s *SELL32) NNZ() int { return len(s.col) }
+
+// Sigma reports the sort scope the operator was converted with.
+func (s *SELL32) Sigma() int { return s.sigma }
+
+// nchunks returns the chunk count.
+func (s *SELL32) nchunks() int { return len(s.width) }
+
+// chunkAccum mirrors SELL.chunkAccum with float32 loads: accumulator l
+// holds lane l's dot product with x, accumulated strictly left to right
+// in float64 (each stored value widened before its multiply).
+func (s *SELL32) chunkAccum(x []float64, c int) (a0, a1, a2, a3, a4, a5, a6, a7 float64) {
+	col, val := s.col, s.val
+	p := int(s.chunkPtr[c])
+	f := int(s.full[c])
+	for j := 0; j+2 <= f; j += 2 {
+		cb := col[p : p+16 : p+16]
+		vb := val[p : p+16 : p+16]
+		a0 += float64(vb[0]) * x[cb[0]]
+		a0 += float64(vb[8]) * x[cb[8]]
+		a1 += float64(vb[1]) * x[cb[1]]
+		a1 += float64(vb[9]) * x[cb[9]]
+		a2 += float64(vb[2]) * x[cb[2]]
+		a2 += float64(vb[10]) * x[cb[10]]
+		a3 += float64(vb[3]) * x[cb[3]]
+		a3 += float64(vb[11]) * x[cb[11]]
+		a4 += float64(vb[4]) * x[cb[4]]
+		a4 += float64(vb[12]) * x[cb[12]]
+		a5 += float64(vb[5]) * x[cb[5]]
+		a5 += float64(vb[13]) * x[cb[13]]
+		a6 += float64(vb[6]) * x[cb[6]]
+		a6 += float64(vb[14]) * x[cb[14]]
+		a7 += float64(vb[7]) * x[cb[7]]
+		a7 += float64(vb[15]) * x[cb[15]]
+		p += 16
+	}
+	if f&1 == 1 {
+		cb := col[p : p+8 : p+8]
+		vb := val[p : p+8 : p+8]
+		a0 += float64(vb[0]) * x[cb[0]]
+		a1 += float64(vb[1]) * x[cb[1]]
+		a2 += float64(vb[2]) * x[cb[2]]
+		a3 += float64(vb[3]) * x[cb[3]]
+		a4 += float64(vb[4]) * x[cb[4]]
+		a5 += float64(vb[5]) * x[cb[5]]
+		a6 += float64(vb[6]) * x[cb[6]]
+		a7 += float64(vb[7]) * x[cb[7]]
+		p += 8
+	}
+	if w := int(s.width[c]); f < w {
+		cnt := s.cnt
+		base := int(s.cntPtr[c])
+		for j := f; j < w; j++ {
+			m := cnt[base+j]
+			a0 += float64(val[p]) * x[col[p]]
+			p++
+			if m > 1 {
+				a1 += float64(val[p]) * x[col[p]]
+				p++
+			}
+			if m > 2 {
+				a2 += float64(val[p]) * x[col[p]]
+				p++
+			}
+			if m > 3 {
+				a3 += float64(val[p]) * x[col[p]]
+				p++
+			}
+			if m > 4 {
+				a4 += float64(val[p]) * x[col[p]]
+				p++
+			}
+			if m > 5 {
+				a5 += float64(val[p]) * x[col[p]]
+				p++
+			}
+			if m > 6 {
+				a6 += float64(val[p]) * x[col[p]]
+				p++
+			}
+		}
+	}
+	return
+}
+
+// SpMV computes y = A*x, parallel over chunks. Bit-identical to the
+// CSR32 SpMV of the source matrix for every worker count.
+func (s *SELL32) SpMV(rt *par.Runtime, x, y []float64) {
+	if rt.Serial(s.rows) {
+		s.spmvChunks(x, y, 0, s.nchunks())
+		return
+	}
+	rt.For(s.rows, func(lo, hi int) {
+		c0, c1 := chunkRange(lo, hi)
+		s.spmvChunks(x, y, c0, c1)
+	})
+}
+
+func (s *SELL32) spmvChunks(x, y []float64, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
+		slot := c * SellC
+		if slot+SellC <= s.rows {
+			pm := s.perm[slot : slot+SellC : slot+SellC]
+			y[pm[0]] = a0
+			y[pm[1]] = a1
+			y[pm[2]] = a2
+			y[pm[3]] = a3
+			y[pm[4]] = a4
+			y[pm[5]] = a5
+			y[pm[6]] = a6
+			y[pm[7]] = a7
+			continue
+		}
+		acc := [SellC]float64{a0, a1, a2, a3, a4, a5, a6, a7}
+		for l, r := range s.perm[slot:s.rows] {
+			y[r] = acc[l]
+		}
+	}
+}
+
+// SpMVResidual computes r = b - A*x in one traversal. r must not alias x.
+func (s *SELL32) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
+	if rt.Serial(s.rows) {
+		s.spmvResidualChunks(b, x, r, 0, s.nchunks())
+		return
+	}
+	rt.For(s.rows, func(lo, hi int) {
+		c0, c1 := chunkRange(lo, hi)
+		s.spmvResidualChunks(b, x, r, c0, c1)
+	})
+}
+
+func (s *SELL32) spmvResidualChunks(b, x, r []float64, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
+		slot := c * SellC
+		if slot+SellC <= s.rows {
+			pm := s.perm[slot : slot+SellC : slot+SellC]
+			r[pm[0]] = b[pm[0]] - a0
+			r[pm[1]] = b[pm[1]] - a1
+			r[pm[2]] = b[pm[2]] - a2
+			r[pm[3]] = b[pm[3]] - a3
+			r[pm[4]] = b[pm[4]] - a4
+			r[pm[5]] = b[pm[5]] - a5
+			r[pm[6]] = b[pm[6]] - a6
+			r[pm[7]] = b[pm[7]] - a7
+			continue
+		}
+		acc := [SellC]float64{a0, a1, a2, a3, a4, a5, a6, a7}
+		for l, row := range s.perm[slot:s.rows] {
+			r[row] = b[row] - acc[l]
+		}
+	}
+}
+
+// SpMVAdd computes y += A*x in one traversal. y must not alias x.
+func (s *SELL32) SpMVAdd(rt *par.Runtime, x, y []float64) {
+	if rt.Serial(s.rows) {
+		s.spmvAddChunks(x, y, 0, s.nchunks())
+		return
+	}
+	rt.For(s.rows, func(lo, hi int) {
+		c0, c1 := chunkRange(lo, hi)
+		s.spmvAddChunks(x, y, c0, c1)
+	})
+}
+
+func (s *SELL32) spmvAddChunks(x, y []float64, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
+		slot := c * SellC
+		if slot+SellC <= s.rows {
+			pm := s.perm[slot : slot+SellC : slot+SellC]
+			y[pm[0]] += a0
+			y[pm[1]] += a1
+			y[pm[2]] += a2
+			y[pm[3]] += a3
+			y[pm[4]] += a4
+			y[pm[5]] += a5
+			y[pm[6]] += a6
+			y[pm[7]] += a7
+			continue
+		}
+		acc := [SellC]float64{a0, a1, a2, a3, a4, a5, a6, a7}
+		for l, row := range s.perm[slot:s.rows] {
+			y[row] += acc[l]
+		}
+	}
+}
+
+// JacobiSweep computes dst[i] = src[i] + omega*dinv[i]*(b[i] - (A src)[i])
+// in one traversal — the fused damped-Jacobi sweep, bit-identical to
+// CSR32.JacobiSweep. The diagonal inverse stays float64. src and dst
+// must not alias.
+func (s *SELL32) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, src, dst []float64) {
+	if rt.Serial(s.rows) {
+		s.jacobiChunks(b, dinv, omega, src, dst, 0, s.nchunks())
+		return
+	}
+	rt.For(s.rows, func(lo, hi int) {
+		c0, c1 := chunkRange(lo, hi)
+		s.jacobiChunks(b, dinv, omega, src, dst, c0, c1)
+	})
+}
+
+func (s *SELL32) jacobiChunks(b, dinv []float64, omega float64, src, dst []float64, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(src, c)
+		slot := c * SellC
+		if slot+SellC <= s.rows {
+			pm := s.perm[slot : slot+SellC : slot+SellC]
+			dst[pm[0]] = src[pm[0]] + omega*dinv[pm[0]]*(b[pm[0]]-a0)
+			dst[pm[1]] = src[pm[1]] + omega*dinv[pm[1]]*(b[pm[1]]-a1)
+			dst[pm[2]] = src[pm[2]] + omega*dinv[pm[2]]*(b[pm[2]]-a2)
+			dst[pm[3]] = src[pm[3]] + omega*dinv[pm[3]]*(b[pm[3]]-a3)
+			dst[pm[4]] = src[pm[4]] + omega*dinv[pm[4]]*(b[pm[4]]-a4)
+			dst[pm[5]] = src[pm[5]] + omega*dinv[pm[5]]*(b[pm[5]]-a5)
+			dst[pm[6]] = src[pm[6]] + omega*dinv[pm[6]]*(b[pm[6]]-a6)
+			dst[pm[7]] = src[pm[7]] + omega*dinv[pm[7]]*(b[pm[7]]-a7)
+			continue
+		}
+		acc := [SellC]float64{a0, a1, a2, a3, a4, a5, a6, a7}
+		for l, row := range s.perm[slot:s.rows] {
+			dst[row] = src[row] + omega*dinv[row]*(b[row]-acc[l])
+		}
+	}
+}
+
+// SpMM computes the multi-RHS product Y = A*X for k interleaved
+// right-hand sides (the layout of Matrix.SpMM).
+func (s *SELL32) SpMM(rt *par.Runtime, k int, x, y []float64) {
+	if k == 1 {
+		s.SpMV(rt, x, y)
+		return
+	}
+	if rt.Serial(s.rows) {
+		s.spmmChunks(k, x, y, 0, s.nchunks())
+		return
+	}
+	rt.For(s.rows, func(lo, hi int) {
+		c0, c1 := chunkRange(lo, hi)
+		s.spmmChunks(k, x, y, c0, c1)
+	})
+}
+
+func (s *SELL32) spmmChunks(k int, x, y []float64, c0, c1 int) {
+	col, val, cnt := s.col, s.val, s.cnt
+	for c := c0; c < c1; c++ {
+		slot := c * SellC
+		lanes := s.perm[slot:min(slot+SellC, s.rows)]
+		for _, row := range lanes {
+			clear(y[int(row)*k : int(row)*k+k])
+		}
+		p := int(s.chunkPtr[c])
+		w := int(s.width[c])
+		f := int(s.full[c])
+		base := int(s.cntPtr[c])
+		for j := 0; j < w; j++ {
+			m := SellC
+			if j >= f {
+				m = int(cnt[base+j])
+			}
+			for _, row := range lanes[:m] {
+				v := float64(val[p])
+				xb := x[int(col[p])*k : int(col[p])*k+k]
+				yb := y[int(row)*k : int(row)*k+k]
+				for q, xv := range xb {
+					yb[q] += v * xv
+				}
+				p++
+			}
+		}
+	}
+}
+
+// DiagonalInto fills d with the diagonal entries (zero where absent),
+// widened to float64, parallel over chunks.
+func (s *SELL32) DiagonalInto(rt *par.Runtime, d []float64) {
+	if rt.Serial(s.rows) {
+		s.diagonalChunks(d, 0, s.nchunks())
+		return
+	}
+	rt.For(s.rows, func(lo, hi int) {
+		c0, c1 := chunkRange(lo, hi)
+		s.diagonalChunks(d, c0, c1)
+	})
+}
+
+func (s *SELL32) diagonalChunks(d []float64, c0, c1 int) {
+	col, val, cnt := s.col, s.val, s.cnt
+	for c := c0; c < c1; c++ {
+		slot := c * SellC
+		lanes := s.perm[slot:min(slot+SellC, s.rows)]
+		for _, row := range lanes {
+			d[row] = 0
+		}
+		p := int(s.chunkPtr[c])
+		w := int(s.width[c])
+		f := int(s.full[c])
+		base := int(s.cntPtr[c])
+		for j := 0; j < w; j++ {
+			m := SellC
+			if j >= f {
+				m = int(cnt[base+j])
+			}
+			for _, row := range lanes[:m] {
+				if col[p] == row {
+					d[row] = float64(val[p])
+				}
+				p++
+			}
+		}
+	}
+}
