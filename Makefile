@@ -25,7 +25,7 @@ BENCHCOUNT ?= 3
 # different GOMAXPROCS unless forced (pass FORCE=1).
 BENCHPROCS ?= $(shell nproc)
 FORCE ?=
-BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkVCycleF64Apply|BenchmarkVCycleF32Apply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves|BenchmarkShardedServe|BenchmarkSingleHierarchyServe|BenchmarkServePrecisionF64|BenchmarkServePrecisionF32'
+BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkVCycleF64Apply|BenchmarkVCycleF32Apply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves|BenchmarkShardedServe|BenchmarkSingleHierarchyServe|BenchmarkServePrecisionF64|BenchmarkServePrecisionF32|BenchmarkCGNoGuard|BenchmarkCGHealthGuard'
 
 .PHONY: all build test race bench check
 
@@ -42,7 +42,7 @@ race:
 
 check:
 	go vet ./...
-	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel|TestSharded|TestRefresh|TestPartition|TestCheck|TestFingerprint|TestF32|TestParsePrecision' ./...
+	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel|TestSharded|TestRefresh|TestPartition|TestCheck|TestFingerprint|TestF32|TestParsePrecision|TestHealth|TestEscalation|TestQuarantine|TestSolveEndpoint' ./...
 
 bench:
 	GOMAXPROCS=$(BENCHPROCS) go test -run '^$$' -bench $(BENCH_PATTERN) -benchtime=1s -count=$(BENCHCOUNT) . \
@@ -54,6 +54,7 @@ bench:
 			-ratio Sharded_vs_Single=SingleHierarchyServe/ShardedServe \
 			-ratio VCycleF32_vs_F64=VCycleF64Apply/VCycleF32Apply \
 			-ratio ServeF32_vs_F64=ServePrecisionF64/ServePrecisionF32 \
+			-ratio HealthGuard_vs_Plain=CGNoGuard/CGHealthGuard \
 			-maxdrop $(MAXDROP) \
 			$(if $(FORCE),-force,) \
 			-out BENCH_PR$(PR).json

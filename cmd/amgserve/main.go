@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -87,6 +88,14 @@ type solveResponse struct {
 	// unconverged iterate is never surfaced through the convenience
 	// field.
 	X []float64 `json:"x,omitempty"`
+	// Converged reports every requested column met the tolerance;
+	// RelResidual is the worst final relative residual across them.
+	Converged   bool    `json:"converged"`
+	RelResidual float64 `json:"relres"`
+	// Escalations names the escalation-ladder rungs the service
+	// attempted for this request (the last one listed recovered it when
+	// the response is otherwise successful).
+	Escalations []string `json:"escalations,omitempty"`
 	// Error carries the solver error when some column did not converge;
 	// the response status is then 422 and the per-column results and
 	// stats are still included.
@@ -117,6 +126,10 @@ func main() {
 	precName := flag.String("precision", "f64", "operator value precision: f64, f32, auto (f32 below the finest level; CG recurrence stays f64)")
 	shardThreshold := flag.Int("shard-threshold", 0, "route requests with at least this many rows through domain-decomposed sharded solves, 0 disables (size -cache for the per-subdomain entries)")
 	shardSubdomains := flag.Int("shard-subdomains", 0, "subdomain count for sharded solves (rounded up to a power of two), 0 = rows/256")
+	solveTimeout := flag.Duration("solve-timeout", 0, "per-request deadline covering admission, setup, and solve; expired requests return 504 (0 disables)")
+	maxEscalations := flag.Int("max-escalations", 0, "escalation-ladder rungs tried after a classified numerical failure, 0 = default 3, negative disables")
+	quarantineThreshold := flag.Int("quarantine-threshold", 0, "consecutive numerical failures before a pattern is quarantined (429), 0 = default 3, negative disables")
+	quarantineCooldown := flag.Duration("quarantine-cooldown", 0, "base quarantine duration before a half-open probe, 0 = default 1s")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight solves after SIGTERM before forcing exit")
 	flag.Parse()
 	prec, err := sparse.ParsePrecision(*precName)
@@ -137,6 +150,11 @@ func main() {
 		Threads:         *threads,
 		ShardThreshold:  *shardThreshold,
 		ShardSubdomains: *shardSubdomains,
+
+		SolveTimeout:        *solveTimeout,
+		MaxEscalations:      *maxEscalations,
+		QuarantineThreshold: *quarantineThreshold,
+		QuarantineCooldown:  *quarantineCooldown,
 	})
 	ap := &app{svc: svc, maxBody: *maxBody}
 	log.Printf("amgserve listening on %s (cache %d, window %v, maxbatch %d)", *addr, *cache, *window, *maxBatch)
@@ -251,22 +269,40 @@ func (ap *app) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// from r.Context().Err(): a 422-class failure that merely races
 		// a client disconnect must not be relabeled as retryable.
 		status := http.StatusUnprocessableEntity
+		var qe *serve.QuarantinedError
 		switch {
 		case errors.Is(err, serve.ErrBadRequest):
 			status = http.StatusBadRequest
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		case errors.As(err, &qe):
+			// Quarantined pattern: the breaker rejected the request
+			// before any build/solve cost. Retry-After is the time until
+			// the breaker admits a half-open probe.
+			secs := int(qe.RetryAfter/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			status = http.StatusTooManyRequests
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request deadline (-solve-timeout or the client's
+			// own) expired mid-work: a timeout, not a rejection.
+			retryAfter(w)
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
 			// Canceled admission (backpressure), a canceled coalescing
 			// wait, or a cancel that reached the iteration loop: the
 			// work was cut short, not rejected — safe to retry.
 			retryAfter(w)
 			status = http.StatusServiceUnavailable
 		}
+		// Classified numerical failures (diverged, stagnated, non-finite,
+		// breakdown, MaxIter exhausted) keep 422: the failure class is in
+		// the error text, and retrying the same system would fail again.
 		http.Error(w, err.Error(), status)
 		return
 	}
 	resp := solveResponse{Outcome: stats.Outcome.String(), Batched: stats.Batched,
 		Sharded: stats.Sharded, Subdomains: stats.Subdomains,
-		Precision: stats.Precision.String()}
+		Precision: stats.Precision.String(),
+		Converged: stats.Converged, RelResidual: stats.RelResidual,
+		Escalations: stats.Escalations}
 	for j, x := range xs {
 		cr := columnResult{X: x}
 		if j < len(stats.Columns) {
@@ -328,6 +364,14 @@ func (ap *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "amgserve_shard_sub_builds_total %d\n", m.SubBuilds)
 	fmt.Fprintf(w, "amgserve_shard_sub_refreshes_total %d\n", m.SubRefreshes)
 	fmt.Fprintf(w, "amgserve_shard_sub_reuses_total %d\n", m.SubReuses)
+	fmt.Fprintf(w, "amgserve_numerical_failures_total %d\n", m.NumericalFailures)
+	fmt.Fprintf(w, "amgserve_escalations_total %d\n", m.Escalations)
+	fmt.Fprintf(w, "amgserve_escalation_recoveries_total %d\n", m.EscalationRecoveries)
+	fmt.Fprintf(w, "amgserve_quarantines_total %d\n", m.Quarantines)
+	fmt.Fprintf(w, "amgserve_quarantine_rejections_total %d\n", m.QuarantineRejections)
+	fmt.Fprintf(w, "amgserve_probes_total %d\n", m.Probes)
+	fmt.Fprintf(w, "amgserve_probe_successes_total %d\n", m.ProbeSuccesses)
+	fmt.Fprintf(w, "amgserve_probe_failures_total %d\n", m.ProbeFailures)
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP. It

@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"mis2go/internal/amg"
 	"mis2go/internal/gen"
@@ -175,6 +178,148 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// singularRequest is the JSON body for an exactly singular Neumann
+// Laplacian — a poison system whose AMG-preconditioned CG diverges
+// deterministically (a classified numerical failure, not a 400).
+func singularRequest(t *testing.T) []byte {
+	t.Helper()
+	a := gen.Laplacian(gen.Laplace2D(16, 16), 0)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%5)
+	}
+	body, err := json.Marshal(solveRequest{
+		Rows: a.Rows, RowPtr: a.RowPtr, Col: a.Col, Val: a.Val, B: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestSolveEndpointClassifiesDivergence: a diverging solve answers 422
+// with the failure class in the error text, per-column stats, no
+// convenience "x", and converged=false.
+func TestSolveEndpointClassifiesDivergence(t *testing.T) {
+	svc := serve.New(serve.Config{
+		AMG:                 amg.Options{MinCoarseSize: 30},
+		Tol:                 1e-10,
+		MaxIter:             200,
+		BatchWindow:         -1,
+		MaxEscalations:      -1,
+		QuarantineThreshold: -1,
+	})
+	ts := httptest.NewServer(newMux(svc, 64<<20))
+	t.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(singularRequest(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d for diverged solve, want 422", resp.StatusCode)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sr.Error, "diverged") {
+		t.Fatalf("error %q does not name the failure class", sr.Error)
+	}
+	if sr.X != nil || sr.Converged {
+		t.Fatalf("diverged response leaked a converged-looking result: %+v", sr)
+	}
+}
+
+// TestSolveEndpointQuarantine429: after the threshold of consecutive
+// numerical failures the pattern is quarantined — further requests are
+// rejected 429 with a Retry-After header, paying no solve.
+func TestSolveEndpointQuarantine429(t *testing.T) {
+	svc := serve.New(serve.Config{
+		AMG:                 amg.Options{MinCoarseSize: 30},
+		Tol:                 1e-10,
+		MaxIter:             200,
+		BatchWindow:         -1,
+		MaxEscalations:      -1,
+		QuarantineThreshold: 2,
+		QuarantineCooldown:  time.Minute,
+	})
+	ts := httptest.NewServer(newMux(svc, 64<<20))
+	t.Cleanup(ts.Close)
+	body := singularRequest(t)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("poison solve %d: status %d, want 422", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quarantined solve: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer of seconds", ra)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"amgserve_numerical_failures_total 2",
+		"amgserve_quarantines_total 1",
+		"amgserve_quarantine_rejections_total 1",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestSolveEndpointDeadline504: an expired per-request deadline
+// (-solve-timeout) maps to 504 with a Retry-After — a timeout, not a
+// numerical verdict.
+func TestSolveEndpointDeadline504(t *testing.T) {
+	svc := serve.New(serve.Config{
+		AMG:          amg.Options{MinCoarseSize: 30},
+		Tol:          1e-10,
+		MaxIter:      200,
+		BatchWindow:  -1,
+		SolveTimeout: time.Millisecond,
+		FaultHook: func(p serve.FaultPhase, ctx context.Context) error {
+			if p == serve.FaultAdmitted {
+				<-ctx.Done() // the per-request deadline, by construction
+			}
+			return nil
+		},
+	})
+	ts := httptest.NewServer(newMux(svc, 64<<20))
+	t.Cleanup(ts.Close)
+	body, _ := laplaceRequest(t, 1)
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out solve: status %d, want 504", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("504 without Retry-After")
 	}
 }
 

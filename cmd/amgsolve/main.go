@@ -21,6 +21,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func main() {
 	rcm := flag.Bool("rcm", false, "reorder the system with reverse Cuthill-McKee before solving (solution is inverse-permuted back)")
 	schwarzSubs := flag.Int("schwarz", 0, "precondition with K-subdomain two-level additive Schwarz instead of a single AMG hierarchy (rounded up to a power of two), 0 = off")
 	overlap := flag.Int("overlap", -1, "Schwarz BFS overlap depth; 0 = explicit block Jacobi, -1 = default (1)")
+	health := flag.Bool("health", true, "guard the CG iteration against divergence, stagnation, and non-finite residuals (classified errors instead of a burned iteration budget)")
 	flag.Parse()
 	format, err := sparse.ParseFormat(*formatName)
 	if err != nil {
@@ -162,11 +164,28 @@ func main() {
 		os.Exit(1)
 	}
 	x := make([]float64, a.Rows)
+	var hg *krylov.Health
+	if *health {
+		hg = krylov.DefaultHealth()
+	}
 	start := time.Now()
-	st, err := krylov.CG(par.New(*threads), aop, b, x, *tol, 1000, precond)
+	st, err := krylov.CGCtx(nil, par.New(*threads), aop, b, x, *tol, 1000, precond, nil, hg)
 	solve := time.Since(start)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		// Name the failure class: a guard trip is actionable (wrong
+		// discretization, lost SPD-ness) in a way "not converged" is not.
+		switch {
+		case errors.Is(err, krylov.ErrDiverged):
+			fmt.Fprintf(os.Stderr, "solve diverged: %v\n", err)
+		case errors.Is(err, krylov.ErrStagnated):
+			fmt.Fprintf(os.Stderr, "solve stagnated: %v\n", err)
+		case errors.Is(err, krylov.ErrNonFinite):
+			fmt.Fprintf(os.Stderr, "solve produced non-finite values: %v\n", err)
+		case errors.Is(err, krylov.ErrBreakdown):
+			fmt.Fprintf(os.Stderr, "CG breakdown: %v\n", err)
+		default:
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(1)
 	}
 	if perm != nil {

@@ -30,6 +30,15 @@ import (
 // like any other mid-replay failure (Valid reports false).
 var ErrCanceled = errors.New("amg: setup canceled")
 
+// ErrBadValues is wrapped by every pre-mutation value rejection of the
+// numeric phase — non-finite entries, values outside the float32 range
+// of an f32 finest level, a zero or missing diagonal, a diagonal sign
+// flip on Refresh. These are properties of the submitted values, not of
+// the solver: no retry or escalation can fix them, so callers (the
+// serve escalation ladder in particular) can classify them with
+// errors.Is and fail fast instead of re-solving.
+var ErrBadValues = errors.New("amg: matrix values unusable")
+
 // ctxErr reports the context's cancellation state; nil contexts never
 // cancel (the context-free entry points pass nil).
 func ctxErr(ctx context.Context) error {
@@ -536,7 +545,7 @@ func (h *Hierarchy) checkSamePattern(a *sparse.Matrix) error {
 func (h *Hierarchy) validateValues(a *sparse.Matrix, checkSign bool) error {
 	for p, v := range a.Val {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("amg: matrix has non-finite value at entry %d", p)
+			return fmt.Errorf("%w: non-finite value at entry %d", ErrBadValues, p)
 		}
 	}
 	// An f32 finest level additionally needs every fine value inside the
@@ -547,7 +556,7 @@ func (h *Hierarchy) validateValues(a *sparse.Matrix, checkSign bool) error {
 	// mid-replay failure.
 	if h.opt.levelPrecision(0) == sparse.PrecisionF32 {
 		if err := sparse.CheckF32Range(a.Val); err != nil {
-			return fmt.Errorf("amg: %w", err)
+			return fmt.Errorf("%w: %w", ErrBadValues, err)
 		}
 	}
 	prev := h.Levels[0].dinv // same sign as the previous diagonal (it is its inverse)
@@ -557,11 +566,11 @@ func (h *Hierarchy) validateValues(a *sparse.Matrix, checkSign bool) error {
 			diag = a.Val[p]
 		}
 		if diag == 0 {
-			return fmt.Errorf("amg: zero diagonal at row %d of the fine matrix", i)
+			return fmt.Errorf("%w: zero diagonal at row %d of the fine matrix", ErrBadValues, i)
 		}
 		if checkSign && (diag > 0) != (prev[i] > 0) {
-			return fmt.Errorf("amg: diagonal sign flip at row %d (was %g, now %g); refusing to refresh onto a structurally different operator",
-				i, 1/prev[i], diag)
+			return fmt.Errorf("%w: diagonal sign flip at row %d (was %g, now %g); refusing to refresh onto a structurally different operator",
+				ErrBadValues, i, 1/prev[i], diag)
 		}
 	}
 	return nil

@@ -1,0 +1,181 @@
+package krylov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Classified numerical-failure sentinels. A solve that fails for a
+// numerical reason wraps exactly one of these (plus ErrNotConverged for
+// plain MaxIter exhaustion), so callers can branch on the failure class
+// with errors.Is: a diverging solve wants a stronger method, a
+// stagnating one a better preconditioner, a non-finite one rejection of
+// the inputs, a breakdown an indefinite-capable solver.
+var (
+	// ErrDiverged is wrapped when the health guard sees the relative
+	// residual exceed DivergeFactor times the best residual seen so far
+	// for DivergeWindow consecutive iterations, and by the
+	// false-convergence check when the recurrence residual that stopped
+	// the iteration disagrees with the recomputed true residual beyond
+	// falseConvergenceLimit (on singular systems the recurrence
+	// residual drifts arbitrarily far from ||b - Ax|| and "converges"
+	// on garbage).
+	ErrDiverged = errors.New("krylov: solve diverged")
+	// ErrStagnated is wrapped when the health guard sees no relative
+	// progress of at least StagnationRel over StagnationWindow
+	// consecutive iterations.
+	ErrStagnated = errors.New("krylov: solve stagnated")
+	// ErrNonFinite is wrapped when a residual norm becomes NaN or Inf —
+	// the iteration has been destroyed by non-finite inputs or overflow
+	// and no further iteration can recover it.
+	ErrNonFinite = errors.New("krylov: non-finite residual")
+	// ErrBreakdown is wrapped by the CG solvers when p^T A p <= 0: the
+	// operator is not positive definite and the CG recurrence is invalid.
+	ErrBreakdown = errors.New("krylov: CG breakdown (matrix not SPD?)")
+)
+
+// falseConvergenceSlack bounds the ordinary drift tolerated between
+// the residual estimate that stopped the iteration (the CG recurrence
+// norm, GMRES's preconditioned Givens estimate) and the recomputed
+// true residual ||b - Ax|| / ||b||; see falseConvergenceLimit.
+const falseConvergenceSlack = 100
+
+// falseConvergenceLimit is the true-residual level above which a solve
+// whose residual estimate passed tol is classified ErrDiverged (false
+// convergence) instead of converged: max(falseConvergenceSlack*tol,
+// sqrt(tol)). On healthy systems estimate and true residual agree to
+// within a small factor at convergence — the slack term covers that.
+// The sqrt(tol) term leaves room for the attainable-accuracy floor of
+// ill-conditioned systems (~eps*cond), where the recurrence keeps
+// descending below a tight tolerance while the true residual
+// legitimately stalls orders of magnitude higher yet is still a usable
+// answer; what the check rejects is the singular-system failure mode
+// where the estimate "converges" while the true residual is O(1) or
+// worse — an iterate that explains nothing of b. The check reads only
+// the final recomputed residual every solver already produces for
+// Stats, so it is always on (independent of any Health guard) and
+// never perturbs the iteration. Non-positive tolerances disable it
+// (no scale to measure drift against).
+func falseConvergenceLimit(tol float64) float64 {
+	if s := math.Sqrt(tol); s > falseConvergenceSlack*tol {
+		return s
+	}
+	return falseConvergenceSlack * tol
+}
+
+// Health configures the per-iteration health guard of the *Ctx solvers.
+// The guard reads only the relative residual the iteration has already
+// computed for its convergence test — it adds no reductions and never
+// perturbs the recurrence, so a guarded solve that stays healthy is
+// bitwise identical to an unguarded one at every worker count. A nil
+// *Health disables the guard entirely. The zero value of any field
+// selects its default.
+type Health struct {
+	// DivergeFactor: the solve is declared diverged when the relative
+	// residual exceeds DivergeFactor times the best residual seen so
+	// far for DivergeWindow consecutive iterations. Default 1e4.
+	DivergeFactor float64
+	// DivergeWindow is the number of consecutive over-factor iterations
+	// required before ErrDiverged (a single spike is normal for CG on
+	// an ill-conditioned system). Default 5.
+	DivergeWindow int
+	// StagnationWindow is the number of consecutive iterations without
+	// relative progress of at least StagnationRel before ErrStagnated.
+	// The default (100) is deliberately conservative: ill-conditioned
+	// CG plateaus for long stretches before converging, and a guard
+	// that kills those is worse than no guard. Default 100.
+	StagnationWindow int
+	// StagnationRel is the minimum relative improvement over the last
+	// progress mark that counts as progress: rel <= mark*(1 -
+	// StagnationRel) resets the stagnation counter. Default 1e-3.
+	StagnationRel float64
+}
+
+// DefaultHealth returns a guard with all defaults: divergence at 1e4×
+// the best residual for 5 iterations, stagnation after 100 iterations
+// without 0.1% relative progress.
+func DefaultHealth() *Health { return &Health{} }
+
+func (h *Health) divergeFactor() float64 {
+	if h.DivergeFactor > 0 {
+		return h.DivergeFactor
+	}
+	return 1e4
+}
+
+func (h *Health) divergeWindow() int {
+	if h.DivergeWindow > 0 {
+		return h.DivergeWindow
+	}
+	return 5
+}
+
+func (h *Health) stagnationWindow() int {
+	if h.StagnationWindow > 0 {
+		return h.StagnationWindow
+	}
+	return 100
+}
+
+func (h *Health) stagnationRel() float64 {
+	if h.StagnationRel > 0 {
+		return h.StagnationRel
+	}
+	return 1e-3
+}
+
+// guardState is the per-solve (or, in CGBatch, per-column) state of a
+// health guard: the best residual seen, the consecutive over-factor
+// count, the last progress mark, and the iterations since it moved.
+// The zero value with best/mark = +Inf is the initial state; see
+// guardInit.
+type guardState struct {
+	best  float64
+	mark  float64
+	over  int
+	stall int
+}
+
+func guardInit() guardState {
+	return guardState{best: math.Inf(1), mark: math.Inf(1)}
+}
+
+// check advances the guard by one iteration with relative residual rel
+// and returns a classified error if the solve is unhealthy. name and
+// col label the error message (col < 0 for single-RHS solves).
+func (h *Health) check(g *guardState, name string, col, iter int, rel float64) error {
+	if math.IsNaN(rel) || math.IsInf(rel, 0) {
+		return guardErr(ErrNonFinite, name, col, iter, rel)
+	}
+	if rel > h.divergeFactor()*g.best {
+		g.over++
+		if g.over >= h.divergeWindow() {
+			return guardErr(ErrDiverged, name, col, iter, rel)
+		}
+	} else {
+		g.over = 0
+	}
+	if rel <= g.mark*(1-h.stagnationRel()) {
+		g.mark = rel
+		g.stall = 0
+	} else {
+		g.stall++
+		if g.stall >= h.stagnationWindow() {
+			return guardErr(ErrStagnated, name, col, iter, rel)
+		}
+	}
+	if rel < g.best {
+		g.best = rel
+	}
+	return nil
+}
+
+// guardErr builds the classified error carrying the iteration and
+// residual state at the moment the guard tripped.
+func guardErr(sentinel error, name string, col, iter int, rel float64) error {
+	if col >= 0 {
+		return fmt.Errorf("%w: %s column %d at iteration %d, relres %.3e", sentinel, name, col, iter, rel)
+	}
+	return fmt.Errorf("%w: %s at iteration %d, relres %.3e", sentinel, name, iter, rel)
+}

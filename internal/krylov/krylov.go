@@ -95,7 +95,12 @@ type Stats struct {
 	Iterations int
 	// RelResidual is the final relative residual ||b - Ax|| / ||b||.
 	RelResidual float64
-	// Converged reports whether the tolerance was met.
+	// Converged reports whether the tolerance was met: the recomputed
+	// true residual is below tol, or the iteration's residual estimate
+	// stopped below tol and the true residual stays under the
+	// false-convergence limit (a larger disagreement is a classified
+	// ErrDiverged failure, not a converged solve; see
+	// falseConvergenceLimit).
 	Converged bool
 }
 
@@ -177,6 +182,9 @@ type Workspace struct {
 	act    []bool
 	stats  []Stats
 	rc, zc []float64
+	// Per-column health-guard state (allocated only when CGBatchCtx
+	// runs with a non-nil *Health).
+	guard []guardState
 }
 
 // NewWorkspace returns a Workspace pre-sized for systems of n unknowns.
@@ -248,6 +256,19 @@ func (w *Workspace) ensureBatch(n, k int) {
 	}
 }
 
+// ensureGuard sizes and resets the per-column guard state for a k-wide
+// guarded batch solve.
+func (w *Workspace) ensureGuard(k int) {
+	if cap(w.guard) >= k {
+		w.guard = w.guard[:k]
+	} else {
+		w.guard = make([]guardState, k)
+	}
+	for j := range w.guard {
+		w.guard[j] = guardInit()
+	}
+}
+
 // CG solves A x = b for SPD A with the preconditioned conjugate gradient
 // method. x holds the initial guess on entry and the solution on exit.
 // Iterations stop when the recurrence residual drops below tol*||b|| or
@@ -265,17 +286,23 @@ func CG(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter
 // the same Workspace perform no allocations. ws may be nil, in which
 // case a temporary workspace is allocated.
 func CGWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
-	return CGCtx(context.Background(), rt, a, b, x, tol, maxIter, m, ws)
+	return CGCtx(context.Background(), rt, a, b, x, tol, maxIter, m, ws, nil)
 }
 
-// CGCtx is CGWith with cooperative cancellation: the context is checked
-// once before the setup products and at the top of every iteration, so a
-// canceled caller stops paying for matrix traversals within one
-// iteration. Cancellation returns an error wrapping ErrCanceled (and the
-// context's cause); x then holds the partial iterate. The checks never
-// change the arithmetic: with an uncanceled context the solve is bitwise
-// identical to CGWith. ctx may be nil (treated as context.Background()).
-func CGCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace) (Stats, error) {
+// CGCtx is CGWith with cooperative cancellation and an optional health
+// guard: the context is checked once before the setup products and at
+// the top of every iteration, so a canceled caller stops paying for
+// matrix traversals within one iteration. Cancellation returns an error
+// wrapping ErrCanceled (and the context's cause); x then holds the
+// partial iterate. A non-nil hg watches the per-iteration relative
+// recurrence residual (the value the convergence test already computed)
+// and aborts a non-finite, diverging, or stagnating solve with a
+// classified error (ErrNonFinite, ErrDiverged, ErrStagnated); x then
+// holds the iterate at abort. Neither check changes the arithmetic:
+// with an uncanceled context and a healthy solve the result is bitwise
+// identical to CGWith. ctx may be nil (treated as context.Background());
+// hg may be nil (no guard).
+func CGCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, ws *Workspace, hg *Health) (Stats, error) {
 	n, _ := a.Dims()
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: CG size mismatch (n=%d, len(b)=%d, len(x)=%d)", n, len(b), len(x))
@@ -332,20 +359,26 @@ func CGCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float
 
 	iters := 0
 	met := false
+	gst := guardInit()
 	for ; iters < maxIter; iters++ {
-		if math.Sqrt(rr)/bnorm < tol {
+		rel := math.Sqrt(rr) / bnorm
+		if rel < tol {
 			met = true
 			break
 		}
 		if err := ctxDone(ctx); err != nil {
-			rel := math.Sqrt(rr) / bnorm
 			return Stats{Iterations: iters, RelResidual: rel}, cancelErr(ctx, "CG", iters, rel)
+		}
+		if hg != nil {
+			if herr := hg.check(&gst, "CG", -1, iters, rel); herr != nil {
+				return Stats{Iterations: iters, RelResidual: rel}, herr
+			}
 		}
 		a.SpMV(rt, p, ap)
 		pap := dot(p, ap)
 		if pap <= 0 {
-			return Stats{Iterations: iters, RelResidual: math.Sqrt(rr) / bnorm},
-				fmt.Errorf("krylov: CG breakdown, p^T A p = %g (matrix not SPD?)", pap)
+			return Stats{Iterations: iters, RelResidual: rel},
+				fmt.Errorf("%w: p^T A p = %g at iteration %d", ErrBreakdown, pap, iters)
 		}
 		alpha := rz / pap
 		// Fused update of x and r with the residual norm of the new r
@@ -370,6 +403,10 @@ func CGCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float
 	if iters < maxIter {
 		met = true // loop exited on the residual test
 	}
+	if met && tol > 0 && rel >= falseConvergenceLimit(tol) {
+		return Stats{Iterations: iters, RelResidual: rel},
+			fmt.Errorf("%w: CG false convergence at iteration %d: recurrence residual met tol %.1e but true relres is %.3e", ErrDiverged, iters, tol, rel)
+	}
 	st := Stats{Iterations: iters, RelResidual: rel, Converged: met || rel < tol}
 	if !st.Converged {
 		return st, fmt.Errorf("%w: CG after %d iterations, relres %.3e", ErrNotConverged, iters, rel)
@@ -386,17 +423,21 @@ func GMRES(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxI
 // GMRESWith is GMRES with a caller-provided Workspace; repeated solves
 // through the same Workspace perform no allocations. ws may be nil.
 func GMRESWith(rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
-	return GMRESCtx(context.Background(), rt, a, b, x, tol, maxIter, restart, m, ws)
+	return GMRESCtx(context.Background(), rt, a, b, x, tol, maxIter, restart, m, ws, nil)
 }
 
 // GMRESCtx is GMRESWith with cooperative cancellation, checked at the
-// top of every inner (Arnoldi) iteration. On cancellation x holds the
-// iterate of the last *completed* restart cycle — the in-progress
-// cycle's correction is discarded, not applied half-built — and the
-// reported residual is the recurrence estimate of that unfinished cycle.
-// With an uncanceled context the solve is bitwise identical to
-// GMRESWith. ctx may be nil (treated as context.Background()).
-func GMRESCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace) (Stats, error) {
+// top of every inner (Arnoldi) iteration, and an optional health guard
+// watching the per-iteration recurrence residual estimate |s[k+1]|/
+// ||M^{-1}b||. On cancellation x holds the iterate of the last
+// *completed* restart cycle — the in-progress cycle's correction is
+// discarded, not applied half-built — and the reported residual is the
+// recurrence estimate of that unfinished cycle; a guard abort behaves
+// the same way (the unfinished cycle is discarded). With an uncanceled
+// context and a healthy solve the result is bitwise identical to
+// GMRESWith. ctx may be nil (treated as context.Background()); hg may
+// be nil (no guard).
+func GMRESCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, tol float64, maxIter, restart int, m Preconditioner, ws *Workspace, hg *Health) (Stats, error) {
 	n, _ := a.Dims()
 	if len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("krylov: GMRES size mismatch")
@@ -458,6 +499,7 @@ func GMRESCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []fl
 
 	totalIters := 0
 	met := false
+	gst := guardInit()
 	for totalIters < maxIter {
 		// r = M^{-1}(b - A x)
 		a.SpMV(rt, x, r)
@@ -538,6 +580,16 @@ func GMRESCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []fl
 				k++
 				break
 			}
+			if hg != nil {
+				// The guard reads the recurrence estimate the stopping test
+				// above already computed. On abort the unfinished cycle is
+				// discarded, like cancellation: x keeps the iterate of the
+				// last completed restart.
+				rel := math.Abs(s[k+1]) / zbnorm
+				if herr := hg.check(&gst, "GMRES", -1, totalIters, rel); herr != nil {
+					return Stats{Iterations: totalIters, RelResidual: rel}, herr
+				}
+			}
 		}
 		// Solve the upper triangular system h y = s.
 		for i := k - 1; i >= 0; i-- {
@@ -555,6 +607,10 @@ func GMRESCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []fl
 		}
 	}
 	rel := finalResidualWith(rt, a, b, x, bnorm, r)
+	if met && tol > 0 && rel >= falseConvergenceLimit(tol) {
+		return Stats{Iterations: totalIters, RelResidual: rel},
+			fmt.Errorf("%w: GMRES false convergence at iteration %d: residual estimate met tol %.1e but true relres is %.3e", ErrDiverged, totalIters, tol, rel)
+	}
 	st := Stats{Iterations: totalIters, RelResidual: rel, Converged: met || rel < tol}
 	if !st.Converged {
 		return st, fmt.Errorf("%w: GMRES after %d iterations, relres %.3e", ErrNotConverged, totalIters, rel)
@@ -608,18 +664,24 @@ func preconditionBatch(m Preconditioner, r, z []float64, n, k int, rc, zc []floa
 // returned Stats slice (one entry per column) is owned by the workspace
 // and overwritten by the next batch solve through it. ws may be nil.
 func CGBatchWith(rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
-	return CGBatchCtx(context.Background(), rt, a, b, x, k, tol, maxIter, m, ws)
+	return CGBatchCtx(context.Background(), rt, a, b, x, k, tol, maxIter, m, ws, nil)
 }
 
 // CGBatchCtx is CGBatchWith with cooperative cancellation, checked once
-// before the setup products and at the top of every iteration. On
-// cancellation every still-active column reports its iteration count and
-// recurrence residual (Converged false), columns frozen earlier keep
-// their recurrence result (like the breakdown path), and the error wraps
-// ErrCanceled plus the context's cause. With an uncanceled context the
-// solve is bitwise identical to CGBatchWith. ctx may be nil (treated as
-// context.Background()).
-func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace) ([]Stats, error) {
+// before the setup products and at the top of every iteration, and an
+// optional per-column health guard. On cancellation every still-active
+// column reports its iteration count and recurrence residual (Converged
+// false), columns frozen earlier keep their recurrence result (like the
+// breakdown path), and the error wraps ErrCanceled plus the context's
+// cause. A non-nil hg watches each active column's relative recurrence
+// residual; a column turning non-finite, divergent, or stagnant aborts
+// the whole batch the way a breakdown does — all columns share the one
+// operator, so the failure is a property of the system, not the column —
+// with a classified error naming the first offending column. With an
+// uncanceled context and a healthy solve the result is bitwise identical
+// to CGBatchWith. ctx may be nil (treated as context.Background()); hg
+// may be nil (no guard).
+func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []float64, k int, tol float64, maxIter int, m Preconditioner, ws *Workspace, hg *Health) ([]Stats, error) {
 	n, _ := a.Dims()
 	if k <= 0 {
 		return nil, fmt.Errorf("krylov: CGBatch needs k >= 1, got %d", k)
@@ -634,6 +696,9 @@ func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []
 		ws = &Workspace{}
 	}
 	ws.ensureBatch(n, k)
+	if hg != nil {
+		ws.ensureGuard(k)
+	}
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 	scal := ws.scal
 	rr, rz := scal[0:k], scal[k:2*k]
@@ -662,7 +727,7 @@ func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []
 	if maxIter <= 0 {
 		// Report the initial residuals without touching x.
 		a.SpMM(rt, k, x, ap)
-		failed := batchFinalize(b, x, ap, bnorm, rr, stats, n, k, tol, act, false)
+		failed, _ := batchFinalize(b, x, ap, bnorm, rr, stats, n, k, tol, act, false)
 		if failed > 0 {
 			return stats, fmt.Errorf("%w: CGBatch after 0 iterations, %d of %d columns above tol", ErrNotConverged, failed, k)
 		}
@@ -726,10 +791,21 @@ func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []
 	iters := 0
 	for ; iters < maxIter && nActive > 0; iters++ {
 		for j := 0; j < k; j++ {
-			if act[j] && math.Sqrt(rr[j])/bnorm[j] < tol {
+			if !act[j] {
+				continue
+			}
+			rel := math.Sqrt(rr[j]) / bnorm[j]
+			if rel < tol {
 				act[j] = false
 				stats[j].Iterations = iters
 				nActive--
+				continue
+			}
+			if hg != nil {
+				if herr := hg.check(&ws.guard[j], "CGBatch", j, iters, rel); herr != nil {
+					batchAbortStats(stats, act, rr, bnorm, iters, k)
+					return stats, herr
+				}
 			}
 		}
 		if nActive == 0 {
@@ -772,21 +848,8 @@ func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []
 				continue
 			}
 			if pap[j] <= 0 {
-				for q := 0; q < k; q++ {
-					if act[q] {
-						stats[q].Iterations = iters
-						stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
-					} else if !stats[q].Converged {
-						// Frozen by the convergence test before the
-						// breakdown: report it converged with its
-						// recurrence residual (batchFinalize never runs
-						// on this path). Zero-RHS columns were finalized
-						// exactly and keep their stats.
-						stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
-						stats[q].Converged = true
-					}
-				}
-				return stats, fmt.Errorf("krylov: CGBatch breakdown in column %d, p^T A p = %g (matrix not SPD?)", j, pap[j])
+				batchAbortStats(stats, act, rr, bnorm, iters, k)
+				return stats, fmt.Errorf("%w: CGBatch column %d, p^T A p = %g at iteration %d", ErrBreakdown, j, pap[j], iters)
 			}
 			alpha[j] = rz[j] / pap[j]
 		}
@@ -847,19 +910,43 @@ func CGBatchCtx(ctx context.Context, rt *par.Runtime, a sparse.Operator, b, x []
 
 	// True final residuals per column.
 	a.SpMM(rt, k, x, ap)
-	failed := batchFinalize(b, x, ap, bnorm, rr, stats, n, k, tol, act, true)
+	failed, falseConv := batchFinalize(b, x, ap, bnorm, rr, stats, n, k, tol, act, true)
+	if falseConv > 0 {
+		return stats, fmt.Errorf("%w: CGBatch false convergence after %d iterations, %d of %d columns met tol %.1e in the recurrence but exceed the true-residual limit %.1e", ErrDiverged, iters, falseConv, k, tol, falseConvergenceLimit(tol))
+	}
 	if failed > 0 {
 		return stats, fmt.Errorf("%w: CGBatch after %d iterations, %d of %d columns above tol", ErrNotConverged, iters, failed, k)
 	}
 	return stats, nil
 }
 
+// batchAbortStats fills the per-column stats of a batch solve that
+// aborted mid-iteration (breakdown or health-guard trip): every
+// still-active column reports its recurrence residual unconverged at
+// the abort iteration; a column frozen earlier by the convergence test
+// is reported converged with its recurrence residual (batchFinalize
+// never runs on abort paths). Zero-RHS columns were finalized exactly
+// and keep their stats.
+func batchAbortStats(stats []Stats, act []bool, rr, bnorm []float64, iters, k int) {
+	for q := 0; q < k; q++ {
+		if act[q] {
+			stats[q].Iterations = iters
+			stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
+		} else if !stats[q].Converged {
+			stats[q].RelResidual = math.Sqrt(rr[q]) / bnorm[q]
+			stats[q].Converged = true
+		}
+	}
+}
+
 // batchFinalize fills per-column RelResidual and Converged from the
-// product ax = A*x and returns the number of unconverged columns. When
-// metByRecurrence is true, a column whose recurrence already met the
-// tolerance (act[j] false) counts as converged regardless of the true
-// residual, matching CG's Stats contract.
-func batchFinalize(b, x, ax, bnorm, rr []float64, stats []Stats, n, k int, tol float64, act []bool, metByRecurrence bool) int {
+// product ax = A*x and returns the number of unconverged columns plus
+// how many of those are false convergences. When metByRecurrence is
+// true, a column whose recurrence already met the tolerance (act[j]
+// false) counts as converged as long as the true residual is within
+// falseConvergenceSlack of the tolerance, matching CG's Stats
+// contract.
+func batchFinalize(b, x, ax, bnorm, rr []float64, stats []Stats, n, k int, tol float64, act []bool, metByRecurrence bool) (int, int) {
 	for j := 0; j < k; j++ {
 		rr[j] = 0
 	}
@@ -872,7 +959,7 @@ func batchFinalize(b, x, ax, bnorm, rr []float64, stats []Stats, n, k int, tol f
 			rr[j] += ri * ri
 		}
 	}
-	failed := 0
+	failed, falseConv := 0, 0
 	for j := 0; j < k; j++ {
 		nb := bnorm[j]
 		if nb == 0 {
@@ -884,12 +971,20 @@ func batchFinalize(b, x, ax, bnorm, rr []float64, stats []Stats, n, k int, tol f
 			continue
 		}
 		stats[j].RelResidual = rel
-		stats[j].Converged = rel < tol || (metByRecurrence && !act[j])
+		// A column frozen by the recurrence test is converged only while
+		// the true residual stays under the false-convergence limit;
+		// beyond it the recurrence has lied and the column is a failure,
+		// not an answer.
+		froze := metByRecurrence && !act[j]
+		stats[j].Converged = rel < tol || (froze && (tol <= 0 || rel < falseConvergenceLimit(tol)))
 		if !stats[j].Converged {
 			failed++
+			if froze {
+				falseConv++
+			}
 		}
 	}
-	return failed
+	return failed, falseConv
 }
 
 // finalResidualWith computes ||b - Ax|| / bnorm using scratch as the

@@ -32,6 +32,11 @@ const (
 	// error wrapping ErrPanic and the entry must be retired, never
 	// deadlocked on the condition variable.
 	FaultSolve
+	// FaultEscalate fires at the start of each escalation-ladder rung,
+	// inside the rung's panic isolation, before the rung's hierarchy
+	// build. An error fails the rung (the ladder moves on, or stops on
+	// a cancellation); a panic stops the ladder with ErrPanic.
+	FaultEscalate
 )
 
 // String names the phase for logs and test output.
@@ -45,6 +50,8 @@ func (p FaultPhase) String() string {
 		return "refresh"
 	case FaultSolve:
 		return "solve"
+	case FaultEscalate:
+		return "escalate"
 	}
 	return fmt.Sprintf("FaultPhase(%d)", int(p))
 }

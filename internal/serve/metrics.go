@@ -20,6 +20,15 @@ type counters struct {
 	subBuilds       atomic.Int64
 	subRefreshes    atomic.Int64
 	subReuses       atomic.Int64
+
+	numericalFailures    atomic.Int64
+	escalations          atomic.Int64
+	escalationRecoveries atomic.Int64
+	quarantines          atomic.Int64
+	quarantineRejections atomic.Int64
+	probes               atomic.Int64
+	probeSuccesses       atomic.Int64
+	probeFailures        atomic.Int64
 }
 
 // Metrics is a consistent-enough snapshot of the service counters (each
@@ -55,6 +64,18 @@ type Metrics struct {
 	// shows up as SubRefreshes for those and SubReuses for the rest.
 	ShardedRequests                    int64
 	SubBuilds, SubRefreshes, SubReuses int64
+	// NumericalFailures counts requests that ultimately failed with a
+	// classified numerical error (after any escalation); Escalations
+	// counts ladder rungs attempted and EscalationRecoveries the
+	// requests a rung rescued.
+	NumericalFailures, Escalations, EscalationRecoveries int64
+	// Quarantines counts breaker openings (including re-openings after
+	// a failed probe); QuarantineRejections counts requests failed fast
+	// with ErrQuarantined. Probes counts half-open probe requests
+	// admitted; ProbeSuccesses/ProbeFailures their verdicts (a probe
+	// with no verdict — canceled, panicked — counts in neither).
+	Quarantines, QuarantineRejections     int64
+	Probes, ProbeSuccesses, ProbeFailures int64
 }
 
 // Metrics returns a snapshot of the service counters.
@@ -76,6 +97,15 @@ func (s *Service) Metrics() Metrics {
 		SubBuilds:       s.m.subBuilds.Load(),
 		SubRefreshes:    s.m.subRefreshes.Load(),
 		SubReuses:       s.m.subReuses.Load(),
+
+		NumericalFailures:    s.m.numericalFailures.Load(),
+		Escalations:          s.m.escalations.Load(),
+		EscalationRecoveries: s.m.escalationRecoveries.Load(),
+		Quarantines:          s.m.quarantines.Load(),
+		QuarantineRejections: s.m.quarantineRejections.Load(),
+		Probes:               s.m.probes.Load(),
+		ProbeSuccesses:       s.m.probeSuccesses.Load(),
+		ProbeFailures:        s.m.probeFailures.Load(),
 	}
 }
 

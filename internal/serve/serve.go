@@ -120,6 +120,43 @@ type Config struct {
 	// (rounded up to a power of two; 0 picks the schwarz default of
 	// rows/256).
 	ShardSubdomains int
+	// SolveTimeout, when positive, bounds each request end to end —
+	// admission wait, setup, coalescing, and the solve itself — by
+	// composing a deadline onto the caller's context. An expired
+	// deadline surfaces as a cancellation wrapping
+	// context.DeadlineExceeded (transports map it to 504). Zero (the
+	// default) imposes no service-side deadline.
+	SolveTimeout time.Duration
+	// Health configures the per-iteration solver health guard applied
+	// to every served solve: non-finite residuals, divergence, and
+	// stagnation abort the iteration with a classified error instead of
+	// burning the MaxIter budget. nil selects krylov.DefaultHealth().
+	// The guard reads only residual norms the iteration already
+	// computed, so healthy solves are bitwise unchanged.
+	Health *krylov.Health
+	// MaxEscalations caps the escalation ladder: after a classified
+	// numerical failure (diverged, stagnated, broken down, or MaxIter
+	// exhausted — not non-finite inputs, which no strategy fixes) the
+	// request is retried with up to this many progressively stronger
+	// request-local configurations, in a deterministic sequence: a
+	// full-f64 hierarchy rebuild (when the service runs reduced
+	// precision), then a point-SGS smoother, then a GMRES outer solve.
+	// Each rung attempted is recorded in RequestStats.Escalations.
+	// 0 selects the default of 3 (the full ladder); negative disables
+	// escalation.
+	MaxEscalations int
+	// QuarantineThreshold is the number of consecutive classified
+	// numerical failures on one pattern fingerprint after which the
+	// pattern is quarantined: further requests fail fast with
+	// ErrQuarantined (no build or solve cost) until a cooldown expires,
+	// then a single half-open probe request is let through — success
+	// closes the breaker, failure re-quarantines with a doubled
+	// cooldown (capped at 64× the base). 0 selects the default of 3;
+	// negative disables the breaker.
+	QuarantineThreshold int
+	// QuarantineCooldown is the base quarantine duration before the
+	// first half-open probe (default 1s).
+	QuarantineCooldown time.Duration
 	// FaultHook, when non-nil, is called at the named phase of each
 	// request with that request's context, and a non-nil return fails
 	// the phase as if the work itself had failed. It exists for
@@ -167,6 +204,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AMG.Precision == sparse.PrecisionF64 {
 		c.AMG.Precision = c.Precision
+	}
+	if c.Health == nil {
+		c.Health = krylov.DefaultHealth()
+	}
+	if c.MaxEscalations == 0 {
+		c.MaxEscalations = 3
+	} else if c.MaxEscalations < 0 {
+		c.MaxEscalations = 0
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineCooldown <= 0 {
+		c.QuarantineCooldown = time.Second
 	}
 	return c
 }
@@ -259,6 +310,35 @@ type RequestStats struct {
 	// (the resolved Config.Precision; PrecisionF64 on the sharded path,
 	// which keeps full-precision locals).
 	Precision sparse.Precision
+	// Converged reports that every requested column met the tolerance —
+	// the explicit signal that a result is an answer, not a best-effort
+	// iterate (an exhausted MaxIter additionally returns a classified
+	// error wrapping krylov.ErrNotConverged).
+	Converged bool
+	// RelResidual is the worst (largest) final relative residual across
+	// the requested columns (0 when the request failed before any
+	// column was solved).
+	RelResidual float64
+	// Escalations names the escalation-ladder rungs attempted for this
+	// request, in order (nil when the first solve was healthy). When the
+	// request ultimately succeeded, the last rung named is the one that
+	// recovered it.
+	Escalations []string
+}
+
+// finalize derives the request-level convergence summary from the
+// per-column stats.
+func (st *RequestStats) finalize() {
+	st.Converged = len(st.Columns) > 0
+	st.RelResidual = 0
+	for _, cs := range st.Columns {
+		if !cs.Converged {
+			st.Converged = false
+		}
+		if cs.RelResidual > st.RelResidual {
+			st.RelResidual = cs.RelResidual
+		}
+	}
 }
 
 // Service is a concurrent solve service. Create one with New; the zero
@@ -277,6 +357,12 @@ type Service struct {
 	mu      sync.Mutex
 	entries map[uint64]cacheNode
 	lru     *list.List // front = most recently used; values are cacheNode
+
+	// rungs is the precomputed escalation ladder (see Config.
+	// MaxEscalations); br is the per-pattern circuit breaker (nil when
+	// Config.QuarantineThreshold is negative).
+	rungs []rung
+	br    *breaker
 
 	m counters
 }
@@ -411,13 +497,18 @@ func (e *entry) reset() {
 // the documented defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		rt:      par.New(cfg.Threads),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		entries: make(map[uint64]cacheNode),
 		lru:     list.New(),
 	}
+	s.rungs = buildLadder(cfg)
+	if cfg.QuarantineThreshold > 0 {
+		s.br = newBreaker(cfg.QuarantineThreshold, cfg.QuarantineCooldown)
+	}
+	return s
 }
 
 // Solve serves one system A x = b: admission (backpressure), hierarchy
@@ -480,6 +571,16 @@ func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float
 		return nil, st, fmt.Errorf("%w: invalid matrix: %w", ErrBadRequest, err)
 	}
 
+	// Per-request deadline: composed onto the caller's context so it
+	// bounds admission wait, setup, coalescing, and the solve alike. An
+	// expired deadline surfaces through the normal cancellation paths,
+	// wrapping context.DeadlineExceeded.
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+
 	// Backpressure: block until an in-flight slot frees up, or fail
 	// with the caller's context.
 	select {
@@ -494,14 +595,30 @@ func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float
 		return nil, st, err
 	}
 
+	// Circuit breaker: a quarantined pattern fails fast here, paying
+	// neither build nor solve; the first request past the cooldown
+	// becomes the half-open probe.
+	key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
+	probe := false
+	if s.br != nil {
+		var qerr error
+		probe, qerr = s.br.admit(key)
+		if qerr != nil {
+			s.m.quarantineRejections.Add(1)
+			return nil, st, qerr
+		}
+		if probe {
+			s.m.probes.Add(1)
+		}
+	}
+
 	var xs [][]float64
 	var rst RequestStats
 	var err error
 	if s.cfg.ShardThreshold > 0 && a.Rows >= s.cfg.ShardThreshold {
-		xs, rst, err = s.solveSharded(ctx, a, bs, &st)
+		xs, rst, err = s.solveSharded(ctx, a, bs, &st, key)
 	} else {
 		st.Precision = s.cfg.AMG.Precision
-		key := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
 		e, collision := s.lookup(key, a)
 		if collision {
 			xs, rst, err = s.solveUncached(ctx, a, bs, &st)
@@ -509,8 +626,26 @@ func (s *Service) SolveBatch(ctx context.Context, a *sparse.Matrix, bs [][]float
 			xs, rst, err = s.solveCached(ctx, e, a, bs, &st)
 		}
 	}
-	if err != nil && isCancellation(err) {
-		s.m.canceled.Add(1)
+	if err != nil && s.escalatable(err) {
+		xs, err = s.escalate(ctx, a, bs, &rst, xs, err)
+	}
+	rst.finalize()
+	if s.br != nil {
+		switch {
+		case err == nil:
+			s.br.recordSuccess(key, probe, &s.m)
+		case isNumericalFailure(err):
+			s.br.recordFailure(key, probe, &s.m)
+		default:
+			s.br.recordNeutral(key, probe)
+		}
+	}
+	if err != nil {
+		if isCancellation(err) {
+			s.m.canceled.Add(1)
+		} else if isNumericalFailure(err) {
+			s.m.numericalFailures.Add(1)
+		}
 	}
 	return xs, rst, err
 }
@@ -896,7 +1031,7 @@ func (s *Service) runBatchSolve(reqCtx context.Context, e *entry, bt *batch) {
 	e.xbuf = grow(e.xbuf, n*k)
 	interleave(e.bbuf, bt.bs, n, k)
 	clear(e.xbuf[:n*k]) // zero initial guess for every column
-	stats, err := krylov.CGBatchCtx(bt.solveCtx, s.rt, e.op, e.bbuf, e.xbuf, k, s.cfg.Tol, s.cfg.MaxIter, e.h, e.ws)
+	stats, err := krylov.CGBatchCtx(bt.solveCtx, s.rt, e.op, e.bbuf, e.xbuf, k, s.cfg.Tol, s.cfg.MaxIter, e.h, e.ws, s.cfg.Health)
 	bt.err = err
 	bt.stats = make([]krylov.Stats, len(stats))
 	copy(bt.stats, stats) // stats slice is workspace-owned; keep a copy
@@ -968,7 +1103,7 @@ func (s *Service) solveUncached(ctx context.Context, a *sparse.Matrix, bs [][]fl
 	bb := make([]float64, n*k)
 	xb := make([]float64, n*k)
 	interleave(bb, bs, n, k)
-	stats, serr := krylov.CGBatchCtx(ctx, s.rt, a, bb, xb, k, s.cfg.Tol, s.cfg.MaxIter, h, nil)
+	stats, serr := krylov.CGBatchCtx(ctx, s.rt, a, bb, xb, k, s.cfg.Tol, s.cfg.MaxIter, h, nil, s.cfg.Health)
 	bt := &batch{k: k, err: serr}
 	for j := 0; j < k; j++ {
 		bt.xs = append(bt.xs, make([]float64, n))

@@ -187,10 +187,9 @@ func (s *Service) getSub(key uint64, h *shardHead) *shardSub {
 // ensure every subdomain's local solver against those values, assemble
 // a request-local Schwarz preconditioner over the shared components,
 // and run the outer CG outside the head lock.
-func (s *Service) solveSharded(ctx context.Context, a *sparse.Matrix, bs [][]float64, st *RequestStats) ([][]float64, RequestStats, error) {
+func (s *Service) solveSharded(ctx context.Context, a *sparse.Matrix, bs [][]float64, st *RequestStats, patternFP uint64) ([][]float64, RequestStats, error) {
 	st.Sharded = true
 	s.m.shardedRequests.Add(1)
-	patternFP := hash.PatternFingerprint(a.Rows, a.Cols, a.RowPtr, a.Col)
 	h, collision := s.lookupShard(shardHeadKey(patternFP), a)
 	if collision {
 		// Collisions bypass the cache entirely; the single-hierarchy
@@ -474,22 +473,29 @@ func (s *Service) runShardSolve(ctx context.Context, a *sparse.Matrix, bs [][]fl
 	st.Batched = len(bs)
 	ws := krylov.NewWorkspace(a.Rows)
 	failed := 0
+	var firstErr error
 	for _, b := range bs {
 		x := make([]float64, a.Rows)
-		cst, serr := krylov.CGCtx(ctx, s.rt, a, b, x, s.cfg.Tol, s.cfg.MaxIter, p, ws)
+		cst, serr := krylov.CGCtx(ctx, s.rt, a, b, x, s.cfg.Tol, s.cfg.MaxIter, p, ws, s.cfg.Health)
 		if serr != nil && errors.Is(serr, krylov.ErrCanceled) {
 			return nil, *st, fmt.Errorf("serve: solve canceled: %w", serr)
 		}
 		st.Columns = append(st.Columns, cst)
 		if !cst.Converged {
 			failed++
+			if firstErr == nil {
+				firstErr = serr
+			}
 		}
 		xs = append(xs, x)
 	}
 	s.m.batchSolves.Add(1)
 	s.m.batchedRHS.Add(int64(len(bs)))
 	if failed > 0 {
-		return xs, *st, fmt.Errorf("serve: %d of %d requested right-hand side(s) did not converge", failed, len(bs))
+		// Wrap the first column's classified krylov error so callers
+		// (and the escalation ladder) see the failure class, not just a
+		// count.
+		return xs, *st, fmt.Errorf("serve: %d of %d requested right-hand side(s) did not converge: %w", failed, len(bs), firstErr)
 	}
 	return xs, *st, nil
 }

@@ -58,7 +58,7 @@ func referenceSharded(t *testing.T, a *sparse.Matrix, b []float64, opt schwarz.O
 		t.Fatal(err)
 	}
 	x := make([]float64, a.Rows)
-	st, err := krylov.CGCtx(nil, par.New(opt.Threads), a, b, x, tol, maxIter, p, nil)
+	st, err := krylov.CGCtx(nil, par.New(opt.Threads), a, b, x, tol, maxIter, p, nil, nil)
 	if err != nil || !st.Converged {
 		t.Fatalf("reference solve failed: %v %+v", err, st)
 	}

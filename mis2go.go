@@ -328,6 +328,56 @@ func SolveGMRESWith(a Operator, b, x []float64, tol float64, maxIter, restart in
 	return krylov.GMRESWith(par.New(threads), a, b, x, tol, maxIter, restart, m, ws)
 }
 
+// SolverHealth configures the per-iteration health guard of the Krylov
+// solvers: divergence (residual blow-up past a factor of the best seen),
+// stagnation (no relative progress over a window), and non-finite
+// residuals each abort the iteration early with a classified error
+// instead of burning the remaining iteration budget. The zero value
+// uses conservative defaults; see DefaultSolverHealth.
+type SolverHealth = krylov.Health
+
+// DefaultSolverHealth returns a health guard with the default
+// thresholds (divergence factor 1e4 over 5 iterations, stagnation after
+// 100 iterations without 0.1% relative progress).
+func DefaultSolverHealth() *SolverHealth { return krylov.DefaultHealth() }
+
+// Classified solver failures. All satisfy errors.Is against the
+// sentinel; ErrSolveQuarantined additionally unwraps from the
+// *ServeQuarantinedError a SolveService returns while a poison pattern
+// is quarantined.
+var (
+	// ErrSolveNotConverged: the iteration budget ran out while the
+	// residual was still finite and moving.
+	ErrSolveNotConverged = krylov.ErrNotConverged
+	// ErrSolveDiverged: the residual blew up past the guard's factor of
+	// the best residual seen, for the guard's window of iterations.
+	ErrSolveDiverged = krylov.ErrDiverged
+	// ErrSolveStagnated: the residual made no relative progress for the
+	// guard's stagnation window.
+	ErrSolveStagnated = krylov.ErrStagnated
+	// ErrSolveNonFinite: a residual norm became NaN or Inf.
+	ErrSolveNonFinite = krylov.ErrNonFinite
+	// ErrSolveBreakdown: CG met a non-positive p^T A p (matrix not SPD).
+	ErrSolveBreakdown = krylov.ErrBreakdown
+	// ErrSolveQuarantined: the service's circuit breaker is failing this
+	// matrix pattern fast after repeated numerical failures.
+	ErrSolveQuarantined = serve.ErrQuarantined
+)
+
+// ServeQuarantinedError is the concrete quarantine rejection returned
+// by a SolveService; RetryAfter reports the remaining cooldown.
+type ServeQuarantinedError = serve.QuarantinedError
+
+// SolveCGHealth is SolveCG with a per-iteration health guard: hg (nil
+// means no guard, exactly SolveCG) classifies divergence, stagnation,
+// and non-finite residuals into the ErrSolve* sentinels above. The
+// guard reads only residual norms the convergence test already
+// computes, so guarded and unguarded successful solves are bitwise
+// identical.
+func SolveCGHealth(a Operator, b, x []float64, tol float64, maxIter int, m Preconditioner, threads int, hg *SolverHealth) (SolveStats, error) {
+	return krylov.CGCtx(nil, par.New(threads), a, b, x, tol, maxIter, m, nil, hg)
+}
+
 // SolveService is a concurrent solve service over the AMG+CG stack: an
 // LRU cache of hierarchies keyed by sparsity-pattern fingerprint (first
 // request per pattern builds, same-pattern/new-values requests pay only
