@@ -8,9 +8,13 @@
 # ratio drops more than $(MAXDROP)% below the baseline's recorded ratio
 # (set MAXDROP=0 to disable the regression gate).
 #
-# `make check` is the CI gate: vet everything, then run the determinism
-# suite under the race detector (the worker-pool synchronization and the
-# 1/2/8-worker bitwise contract in one pass).
+# `make lint` builds the repo's custom vet tool (cmd/amglint, analyzers
+# in internal/lint) and runs it over every package via `go vet
+# -vettool`. Any diagnostic makes the run exit non-zero.
+#
+# `make check` is the CI gate: custom analyzers, vet everything, then
+# run the determinism suite under the race detector (the worker-pool
+# synchronization and the 1/2/8-worker bitwise contract in one pass).
 
 PR ?= 1
 BASELINE ?= BENCH_SEED.json
@@ -27,7 +31,7 @@ BENCHPROCS ?= $(shell nproc)
 FORCE ?=
 BENCH_PATTERN := 'BenchmarkRepeatedMultiply|BenchmarkRepeatedRAP|BenchmarkCGJacobi$$|BenchmarkCGJacobiWorkspace|BenchmarkCGBatch8Jacobi|BenchmarkSpMVHot|BenchmarkSpMVSELL|BenchmarkSpMM8|BenchmarkSpMV8Separate|BenchmarkVCycleApply|BenchmarkVCycleF64Apply|BenchmarkVCycleF32Apply|BenchmarkGSSweepApply|BenchmarkMIS2Repeated|BenchmarkAMGBuild$$|BenchmarkAMGRefresh$$|BenchmarkServeThroughput|BenchmarkSequentialSolves|BenchmarkShardedServe|BenchmarkSingleHierarchyServe|BenchmarkServePrecisionF64|BenchmarkServePrecisionF32|BenchmarkCGNoGuard|BenchmarkCGHealthGuard'
 
-.PHONY: all build test race bench check
+.PHONY: all build test race bench check lint
 
 all: build test
 
@@ -40,7 +44,11 @@ test:
 race:
 	go test -race ./...
 
-check:
+lint:
+	go build -o bin/amglint ./cmd/amglint
+	go vet -vettool=$(CURDIR)/bin/amglint ./...
+
+check: lint
 	go vet ./...
 	go test -race -run 'Deterministic|Bitwise|TestWorkspaceReuse|TestZeroRHS|TestMaxIterZero|ServeStress|Cancel|TestSharded|TestRefresh|TestPartition|TestCheck|TestFingerprint|TestF32|TestParsePrecision|TestHealth|TestEscalation|TestQuarantine|TestSolveEndpoint' ./...
 

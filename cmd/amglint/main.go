@@ -1,0 +1,119 @@
+// Command amglint is the repo's static-analysis multichecker: a go vet
+// -vettool implementing the cmd/go vet protocol with stdlib only (the
+// x/tools unitchecker is not vendorable in the offline build, so the
+// three-part contract is implemented here directly):
+//
+//  1. `amglint -V=full` prints a tool identity line; cmd/go keys its
+//     vet result cache on it, so the line embeds a content hash of the
+//     amglint binary itself — rebuilding amglint with different
+//     analyzers invalidates stale cached verdicts.
+//  2. `amglint -flags` prints the supported flags as JSON; cmd/go uses
+//     it to validate flags passed to `go vet -vettool=amglint`.
+//  3. `amglint [-<analyzer>=false ...] path/to/vet.cfg` analyzes the
+//     one package described by the config, printing findings to stderr
+//     and exiting 2 when any were reported.
+//
+// Wire-up: `make lint` (and through it `make check` and CI) runs
+//
+//	go vet -vettool=$(abspath bin/amglint) ./...
+//
+// Each analyzer has a boolean flag (default true) to disable it, e.g.
+// `go vet -vettool=... -hotalloc=false ./...`.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mis2go/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("amglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the supported flags as JSON and exit")
+	enabled := map[string]*bool{}
+	for _, a := range lint.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		// cmd/go (work.toolID) accepts `name version devel ... buildID=<id>`
+		// and uses the content id for cache keying; self-hashing makes a
+		// rebuilt amglint a different tool in the vet cache.
+		fmt.Fprintf(stdout, "amglint version devel buildID=%s\n", selfID())
+		return 0
+	case *flagsFlag:
+		type flagJSON struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []flagJSON
+		for _, a := range lint.All() {
+			out = append(out, flagJSON{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		data, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			fmt.Fprintf(stderr, "amglint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+		return 0
+	}
+
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: amglint [flags] vet.cfg (invoked by go vet -vettool)")
+		return 1
+	}
+	on := map[string]bool{}
+	for name, v := range enabled {
+		on[name] = *v
+	}
+	analyzers := lint.FilterAnalyzers(lint.All(), on)
+	exit := 0
+	for _, cfg := range fs.Args() {
+		if !strings.HasSuffix(cfg, ".cfg") {
+			fmt.Fprintf(stderr, "amglint: argument %q is not a vet config file\n", cfg)
+			return 1
+		}
+		if c := lint.RunUnit(cfg, analyzers, stderr); c > exit {
+			exit = c
+		}
+	}
+	return exit
+}
+
+// selfID hashes the running binary; failures degrade to a constant
+// (cmd/go then caches across rebuilds, which is only a staleness
+// nuisance, not a correctness problem for the analyzers themselves).
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "static"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "static"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "static"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

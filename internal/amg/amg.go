@@ -5,6 +5,8 @@
 // prolongator P = (I - omega D^{-1} A) P0, and the Galerkin coarse
 // operator R A P, solved by damped-Jacobi-smoothed V-cycles with a dense
 // LU factorization on the coarsest level.
+//
+//amg:deterministic
 package amg
 
 import (
@@ -269,6 +271,8 @@ type Hierarchy struct {
 }
 
 // addInto computes x += d elementwise.
+//
+//amg:hotpath
 func addInto(rt *par.Runtime, x, d []float64) {
 	n := len(x)
 	if rt.Serial(n) {
@@ -771,6 +775,8 @@ func (h *Hierarchy) OperatorComplexity() float64 {
 }
 
 // Precondition applies one V-cycle with zero initial guess: z ≈ A^{-1} r.
+//
+//amg:hotpath
 func (h *Hierarchy) Precondition(r, z []float64) {
 	h.checkValid()
 	for i := range z {
@@ -816,6 +822,8 @@ func (h *Hierarchy) Solve(b, x []float64, tol float64, maxIter int) (int, float6
 // correction rides the prolongation traversal (SpMVAdd) feeding the
 // post-smoother — eliminating two full-vector passes per level relative
 // to the unfused cycle, with bitwise-identical results.
+//
+//amg:hotpath
 func (h *Hierarchy) vcycle(level int) {
 	l := h.Levels[level]
 	if level == len(h.Levels)-1 {
@@ -842,6 +850,8 @@ func (h *Hierarchy) vcycle(level int) {
 // smooth dispatches to the configured relaxation method. xZero tells the
 // smoother the iterate is exactly zero on entry (the pre-smoothing
 // position of the V-cycle), enabling the first-sweep shortcut.
+//
+//amg:hotpath
 func (h *Hierarchy) smooth(l *Level, sweeps int, xZero bool) {
 	switch h.opt.Smoother {
 	case SmootherChebyshev:
@@ -858,6 +868,8 @@ func (h *Hierarchy) smooth(l *Level, sweeps int, xZero bool) {
 // chebyshev applies one Chebyshev polynomial of the configured degree to
 // l.A x = l.b, updating l.x in place. The polynomial targets the interval
 // [rho/ratio, 1.1*rho] of D^{-1}A eigenvalues, as in MueLu/Ifpack2.
+//
+//amg:hotpath
 func (h *Hierarchy) chebyshev(l *Level) {
 	n := l.A.Rows
 	rt := h.rt
@@ -893,6 +905,7 @@ func (h *Hierarchy) chebyshev(l *Level) {
 	addInto(rt, l.x, l.d)
 }
 
+//amg:hotpath
 func chebInitRange(l *Level, theta float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		l.r[i] = l.b[i] - l.r[i]
@@ -900,6 +913,7 @@ func chebInitRange(l *Level, theta float64, lo, hi int) {
 	}
 }
 
+//amg:hotpath
 func chebStepRange(l *Level, coef1, coef2 float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		r := l.b[i] - l.r[i]
@@ -917,6 +931,8 @@ func chebStepRange(l *Level, coef1, coef2 float64, lo, hi int) {
 // updates and break determinism). When xZero is set the first sweep
 // skips the traversal entirely: A*0 is exactly zero, so the sweep
 // reduces to x = omega*Dinv*b, bitwise identical to the general form.
+//
+//amg:hotpath
 func (h *Hierarchy) jacobi(l *Level, sweeps int, xZero bool) {
 	n := l.A.Rows
 	omega := h.opt.JacobiDamping
@@ -946,12 +962,15 @@ func (h *Hierarchy) jacobi(l *Level, sweeps int, xZero bool) {
 
 // jacobiZeroRange is the first pre-smoothing sweep with a zero iterate:
 // dst = omega*Dinv*b without touching A.
+//
+//amg:hotpath
 func jacobiZeroRange(l *Level, omega float64, dst []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i] = omega * l.dinv[i] * l.b[i]
 	}
 }
 
+//amg:hotpath
 func norm2(a []float64) float64 {
 	s := 0.0
 	for _, v := range a {

@@ -14,6 +14,8 @@
 // All parallel phases write only vertex-owned slots or use snapshot
 // ("tentative") labels, so every scheme here is deterministic for any
 // worker count.
+//
+//amg:deterministic
 package coarsen
 
 import (

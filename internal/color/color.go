@@ -9,6 +9,8 @@
 // smallest color unused in its neighborhood. Because priorities are a pure
 // function of the vertex id, the result is deterministic for any worker
 // count.
+//
+//amg:deterministic
 package color
 
 import (

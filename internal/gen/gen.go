@@ -3,6 +3,8 @@
 // Elasticity3D (27-point stencil, 3 dof per grid point) equivalent to the
 // Galeri/Trilinos generators, plus deterministic irregular generators used
 // as surrogates for SuiteSparse matrices (see DESIGN.md substitutions).
+//
+//amg:deterministic
 package gen
 
 import (

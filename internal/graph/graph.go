@@ -3,6 +3,8 @@
 // construction, validation, and structural utilities (symmetrization,
 // induced subgraphs, and the boolean square G² used by the MIS-1 reduction
 // of Lemma IV.2).
+//
+//amg:deterministic
 package graph
 
 import (

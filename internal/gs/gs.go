@@ -12,6 +12,8 @@
 //
 // Symmetric variants ("SGS") sweep colors forward then backward, with row
 // order inside each cluster reversed on the backward sweep.
+//
+//amg:deterministic
 package gs
 
 import (
@@ -122,6 +124,8 @@ func (m *Multicolor) SetOmega(omega float64) error {
 }
 
 // relaxRow performs the Gauss-Seidel update of row i in place.
+//
+//amg:hotpath
 func (m *Multicolor) relaxRow(i int32, b, x []float64) {
 	a := m.a
 	s := b[i]
@@ -143,6 +147,8 @@ func (m *Multicolor) relaxRow(i int32, b, x []float64) {
 // cluster follows the sweep direction (paper §III-C symmetric variant).
 // Single-worker sweeps run inline without closures, so a set-up operator
 // sweeps without allocating.
+//
+//amg:hotpath
 func (m *Multicolor) Sweep(b, x []float64, forward bool) {
 	nc := len(m.groups)
 	for ci := 0; ci < nc; ci++ {
@@ -162,6 +168,8 @@ func (m *Multicolor) Sweep(b, x []float64, forward bool) {
 }
 
 // relaxSet relaxes the units set[lo:hi] of one color class.
+//
+//amg:hotpath
 func (m *Multicolor) relaxSet(set []int32, b, x []float64, forward bool, lo, hi int) {
 	if m.clusterRows == nil {
 		for k := lo; k < hi; k++ {
@@ -185,6 +193,8 @@ func (m *Multicolor) relaxSet(set []int32, b, x []float64, forward bool, lo, hi 
 
 // Apply runs the given number of sweeps on A x = b, updating x in place.
 // When symmetric is set each sweep is a forward+backward pair (SGS).
+//
+//amg:hotpath
 func (m *Multicolor) Apply(b, x []float64, sweeps int, symmetric bool) {
 	for s := 0; s < sweeps; s++ {
 		m.Sweep(b, x, true)
@@ -196,6 +206,8 @@ func (m *Multicolor) Apply(b, x []float64, sweeps int, symmetric bool) {
 
 // Precondition implements krylov.Preconditioner with one symmetric sweep
 // from a zero initial guess.
+//
+//amg:hotpath
 func (m *Multicolor) Precondition(r, z []float64) {
 	for i := range z {
 		z[i] = 0

@@ -9,6 +9,8 @@
 //     iteration correlation that makes plain xorshift perform poorly.
 //
 // Both f functions are due to Marsaglia.
+//
+//amg:deterministic
 package hash
 
 // Xorshift64 is Marsaglia's 64-bit xorshift generator step.

@@ -18,6 +18,8 @@
 // its own Workspace, and a preconditioner that is either concurrency-
 // safe itself (Identity, Jacobi) or externally serialized (an AMG
 // hierarchy). internal/serve packages this contract behind a service.
+//
+//amg:deterministic
 package krylov
 
 import (
@@ -138,6 +140,8 @@ func cancelErr(ctx context.Context, name string, iters int, rel float64) error {
 // dot computes the inner product with a 4-way unrolled dual-accumulator
 // loop. The summation order is a fixed function of the vector length, so
 // results are identical for every worker count.
+//
+//amg:hotpath
 func dot(a, b []float64) float64 {
 	var s0, s1 float64
 	i := 0
@@ -151,9 +155,12 @@ func dot(a, b []float64) float64 {
 	return s0 + s1
 }
 
+//amg:hotpath
 func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
 
 // axpy computes y += alpha*x.
+//
+//amg:hotpath
 func axpy(alpha float64, x, y []float64) {
 	for i := range y {
 		y[i] += alpha * x[i]

@@ -1,0 +1,17 @@
+package lint
+
+// All returns every amglint analyzer in stable order: the five
+// repo-contract analyzers plus the two general passes (lockcopy,
+// nilderef) that stand in for x/tools' copylocks/nilness in the
+// offline build.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotAlloc,
+		DetOrder,
+		CtxPoll,
+		SentinelIs,
+		AtomicField,
+		LockCopy,
+		NilDeref,
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces the Metrics/counter contract: structs annotated
+// //amg:atomic hold only sync/atomic values, and those fields are used
+// only as atomic method-call receivers (c.n.Add(1), c.n.Load()) or
+// address-of operands. Anything else — reading the field into a
+// variable, assigning over it, passing it by value — is a plain access
+// racing the atomic ones, exactly the mixed plain/atomic bug class the
+// -race stress suites can only catch when a test happens to interleave.
+//
+// The annotation is matched within the declaring package (the repo's
+// annotated counter structs are unexported).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "check fields of //amg:atomic structs are only accessed atomically",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	fields := collectAtomicFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkAtomicUses(pass, f, fields)
+	}
+	return nil
+}
+
+// collectAtomicFields finds //amg:atomic struct declarations, flags
+// non-atomic field types at the declaration, and returns the set of
+// field objects whose uses must be audited.
+func collectAtomicFields(pass *Pass) map[types.Object]string {
+	fields := map[types.Object]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(ts.Doc, "//amg:atomic") && !hasDirective(gd.Doc, "//amg:atomic") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//amg:atomic annotation on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					ft := pass.TypesInfo.TypeOf(fld.Type)
+					if ft == nil {
+						continue
+					}
+					if !isSyncAtomicType(ft) {
+						pass.Reportf(fld.Pos(), "field of //amg:atomic struct %s is not a sync/atomic type (%s): mixed plain/atomic access", ts.Name.Name, ft)
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							fields[obj] = ts.Name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return fields
+}
+
+func isSyncAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkAtomicUses walks one file with a parent stack, flagging selector
+// expressions that resolve to an annotated field unless the selector is
+// (a) the receiver of an immediate method call, or (b) an address-of
+// operand (the &c.n form sync/atomic free functions take).
+func checkAtomicUses(pass *Pass, f *ast.File, fields map[types.Object]string) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		owner, isAtomic := fields[obj]
+		if !isAtomic {
+			return true
+		}
+		if atomicUseAllowed(pass, stack) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "field %s of //amg:atomic struct %s accessed non-atomically (use its atomic methods or take its address)", sel.Sel.Name, owner)
+		return true
+	})
+}
+
+// atomicUseAllowed inspects the parents of the selector on top of the
+// stack: stack[len-1] is the field selector itself.
+func atomicUseAllowed(pass *Pass, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	sel := stack[len(stack)-1].(*ast.SelectorExpr)
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		// &c.n — handed to atomic free functions or retained as *atomic.T.
+		return p.Op == token.AND && ast.Unparen(p.X) == sel
+	case *ast.SelectorExpr:
+		// c.n.Add(1): parent selects a method off the field; require the
+		// grandparent to be the call applying it.
+		if p.X != sel {
+			return false
+		}
+		if _, isMethod := pass.TypesInfo.Selections[p]; !isMethod {
+			return false
+		}
+		if len(stack) < 3 {
+			return false
+		}
+		call, ok := stack[len(stack)-3].(*ast.CallExpr)
+		return ok && ast.Unparen(call.Fun) == p
+	}
+	return false
+}

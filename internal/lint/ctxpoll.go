@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll pins the cancellation contract: every exported function or
+// method whose name ends in "Ctx" and takes a context.Context must
+// actually consult it — by calling ctx.Err() or ctx.Done(), or by
+// passing ctx on to another function. If the body contains a working
+// loop (a for/range statement that makes at least one function call —
+// the iteration path cancellation must reach), at least one such
+// consultation must be inside a loop, so a *Ctx solver cannot
+// accidentally hoist its only poll out of the iteration.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "check exported *Ctx functions reach a ctx check on their loop path",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !fd.Name.IsExported() || len(name) <= 3 || name[len(name)-3:] != "Ctx" {
+				continue
+			}
+			ctxObj := contextParam(pass, fd)
+			if ctxObj == nil {
+				continue
+			}
+			checkCtxBody(pass, fd, ctxObj)
+		}
+	}
+	return nil
+}
+
+// contextParam returns the object of the first parameter whose type is
+// context.Context, or nil.
+func contextParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkCtxBody(pass *Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	info := pass.TypesInfo
+	name := funcName(fd)
+
+	var anyUse, useInLoop, workingLoop bool
+	// loopDepth tracks lexical for/range nesting; callsInLoop counts
+	// non-builtin calls made at loopDepth > 0.
+	var walk func(n ast.Node, loopDepth int)
+	usesCtx := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == ctxObj
+	}
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.CallExpr:
+			consulted := false
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && usesCtx(sel.X) {
+				if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+					consulted = true
+				}
+			}
+			for _, arg := range n.Args {
+				if usesCtx(arg) {
+					consulted = true
+				}
+			}
+			if consulted {
+				anyUse = true
+				if loopDepth > 0 {
+					useInLoop = true
+				}
+			}
+			if _, isBuiltin := calleeObj(info, n).(*types.Builtin); !isBuiltin && loopDepth > 0 {
+				if tv, ok := info.Types[ast.Unparen(n.Fun)]; !ok || !tv.IsType() {
+					workingLoop = true
+				}
+			}
+		}
+		d := loopDepth
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, d)
+			return false
+		})
+	}
+	walk(fd.Body, 0)
+
+	switch {
+	case !anyUse:
+		pass.Reportf(fd.Name.Pos(), "exported %s never consults its context (no ctx.Err/ctx.Done call and ctx is not passed on)", name)
+	case workingLoop && !useInLoop:
+		pass.Reportf(fd.Name.Pos(), "exported %s has loops that call functions but never checks ctx inside a loop (cancellation cannot reach the iteration path)", name)
+	}
+}

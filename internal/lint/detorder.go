@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOrder checks packages annotated //amg:deterministic (in the
+// package comment) for the nondeterminism classes that would silently
+// break the 1/2/8-worker bitwise gate:
+//
+//   - ranging over a map (iteration order is randomized)
+//   - time.Now / time.Since / time.Until (wall-clock-dependent results)
+//   - the global math/rand source, or rand.NewSource/NewPCG/NewChaCha8
+//     with a non-constant seed
+//
+// A map range whose result is provably order-insensitive (a commutative
+// reduction, or output canonicalized by a later sort) may be waived with
+// an `//amg:order-ok <why>` comment on the range line or the line above.
+// The waiver applies only to map ranges; there is no sanctioned use of
+// the wall clock or the global rand source in a deterministic package.
+//
+// Test files are exempt: the contract covers shipped kernel code, and
+// tests legitimately time things and shuffle inputs.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "check //amg:deterministic packages for nondeterministic constructs",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) error {
+	if !packageHasDirective(pass, "//amg:deterministic") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		waived := orderOKLines(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						line := pass.Fset.Position(n.Pos()).Line
+						if !waived[line] && !waived[line-1] {
+							pass.Reportf(n.Pos(), "deterministic package %s ranges over a map (iteration order is randomized)", pass.Pkg.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderOKLines collects the lines of f carrying an //amg:order-ok
+// waiver comment. A waiver suppresses the map-range diagnostic on its
+// own line and the line below (the usual comment-above placement).
+func orderOKLines(pass *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, "//amg:order-ok") {
+				lines[pass.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "deterministic package %s reads the wall clock (time.%s)", pass.Pkg.Name(), fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			// Methods on *rand.Rand draw from a source whose seeding is
+			// checked at its construction site below.
+			return
+		}
+		switch fn.Name() {
+		case "New":
+			// Wraps an already-constructed source.
+		case "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			for _, arg := range call.Args {
+				if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+					pass.Reportf(call.Pos(), "deterministic package %s seeds %s.%s with a non-constant value", pass.Pkg.Name(), shortPkgPath(fn.Pkg().Path()), fn.Name())
+					return
+				}
+			}
+		default:
+			pass.Reportf(call.Pos(), "deterministic package %s uses the global math/rand source (%s.%s)", pass.Pkg.Name(), shortPkgPath(fn.Pkg().Path()), fn.Name())
+		}
+	}
+}

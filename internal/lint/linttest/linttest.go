@@ -1,0 +1,234 @@
+// Package linttest is an analysistest-style harness for amglint
+// analyzers: it loads a fixture package from testdata/src/<pkg>,
+// type-checks it (resolving fixture-local imports from testdata/src and
+// everything else from the standard library), runs one analyzer, and
+// compares the diagnostics against `// want "regexp"` comments placed
+// on the offending lines — the same expectation syntax as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// stdlib because x/tools is not vendorable in the offline build.
+//
+// Every fixture is a positive proof that the analyzer fires (a fixture
+// whose wants go unmatched fails the test) and a negative proof that it
+// stays quiet on the clean forms (any unexpected diagnostic fails the
+// test).
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mis2go/internal/lint"
+)
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer, and enforces the // want expectations.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(a.Name+"/"+pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	ld := newLoader(t, filepath.Join("testdata", "src"))
+	fset, files, tpkg, info := ld.load(pkg)
+
+	var sink strings.Builder
+	diags := lint.CollectDiagnostics(fset, files, tpkg, info, []*lint.Analyzer{a}, &sink)
+	if sink.Len() > 0 {
+		t.Errorf("analyzer error output: %s", sink.String())
+	}
+
+	wants := collectWants(t, fset, files)
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := map[key][]*want{}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts `// want "re" ["re" ...]` comment expectations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(text)
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want expectation %q: %v", pos, c.Text, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: unquoting %q: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// loader type-checks fixture packages, resolving imports that exist
+// under testdata/src as fixture packages and everything else through
+// the standard library importers.
+type loader struct {
+	t     *testing.T
+	root  string
+	fset  *token.FileSet
+	cache map[string]*loaded
+	std   types.Importer
+	src   types.Importer
+}
+
+type loaded struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(t *testing.T, root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:     t,
+		root:  root,
+		fset:  fset,
+		cache: map[string]*loaded{},
+		std:   importer.Default(),
+		src:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (ld *loader) load(pkg string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	ld.t.Helper()
+	l := ld.loadErr(pkg)
+	return ld.fset, l.files, l.pkg, l.info
+}
+
+func (ld *loader) loadErr(pkg string) *loaded {
+	ld.t.Helper()
+	if l, ok := ld.cache[pkg]; ok {
+		return l
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkg))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("reading fixture package %s: %v", pkg, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("fixture package %s has no Go files", pkg)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+				return ld.loadErr(path).pkg, nil
+			}
+			p, err := ld.std.Import(path)
+			if err == nil {
+				return p, nil
+			}
+			// importer.Default needs installed export data; fall back to
+			// compiling the stdlib package from source.
+			return ld.src.Import(path)
+		}),
+		Error: func(error) {},
+	}
+	tpkg, err := cfg.Check(pkg, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("typechecking fixture package %s: %v", pkg, err)
+	}
+	l := &loaded{files: files, pkg: tpkg, info: info}
+	ld.cache[pkg] = l
+	return l
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCopy is the copylocks-adjacent pass (the x/tools analyzer is not
+// vendorable offline, so this is a stdlib reimplementation of the
+// subset the repo needs): values whose type transitively contains a
+// sync primitive or a sync/atomic value must not be copied. Copying a
+// mutex forks its state; copying an atomic counter tears it away from
+// its writers. Flagged sites:
+//
+//   - assignments whose right-hand side copies an existing lock-holding
+//     value (composite literals and function results are fresh values
+//     and allowed)
+//   - function/method arguments passed by value
+//   - declared parameters and value receivers of lock-holding types
+//   - range clauses whose value variable copies lock-holding elements
+//   - return statements returning an existing lock-holding value
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "check values containing sync or sync/atomic state are not copied",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) error {
+	lc := &lockChecker{pass: pass, memo: map[types.Type]bool{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				lc.checkFuncSig(n.Recv, n.Type)
+			case *ast.FuncLit:
+				lc.checkFuncSig(nil, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to the blank identifier evaluates but
+					// discards the value: nothing retains the copy.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					lc.checkCopyExpr(rhs, "assignment copies")
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, v := range vs.Values {
+							lc.checkCopyExpr(v, "initialization copies")
+						}
+					}
+				}
+			case *ast.CallExpr:
+				lc.checkCallArgs(n)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := lc.pass.TypesInfo.TypeOf(n.Value); t != nil && lc.containsLock(t) {
+						lc.pass.Reportf(n.Value.Pos(), "range value copies %s (iterate by index or over pointers)", t)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					lc.checkCopyExpr(r, "return copies")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockChecker struct {
+	pass *Pass
+	memo map[types.Type]bool
+}
+
+// checkFuncSig flags value receivers and by-value parameters of
+// lock-holding types at the declaration.
+func (lc *lockChecker) checkFuncSig(recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := lc.pass.TypesInfo.TypeOf(field.Type)
+			if t != nil && lc.containsLock(t) {
+				lc.pass.Reportf(field.Pos(), "%s of type %s is passed by value (copies its lock/atomic state)", kind, t)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+}
+
+// checkCopyExpr flags expressions that copy an existing lock-holding
+// value. Fresh values — composite literals, conversions of them, and
+// call results (flagged at their return site instead) — are allowed.
+func (lc *lockChecker) checkCopyExpr(e ast.Expr, what string) {
+	ex := ast.Unparen(e)
+	switch ex.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit, *ast.UnaryExpr:
+		return
+	}
+	t := lc.pass.TypesInfo.TypeOf(ex)
+	if t != nil && lc.containsLock(t) {
+		lc.pass.Reportf(ex.Pos(), "%s %s (holds lock/atomic state; use a pointer)", what, t)
+	}
+}
+
+func (lc *lockChecker) checkCallArgs(call *ast.CallExpr) {
+	if tv, ok := lc.pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if _, isBuiltin := calleeObj(lc.pass.TypesInfo, call).(*types.Builtin); isBuiltin {
+		return // len/cap/new(T)/unsafe tricks don't copy
+	}
+	for _, arg := range call.Args {
+		a := ast.Unparen(arg)
+		if _, fresh := a.(*ast.CompositeLit); fresh {
+			continue
+		}
+		t := lc.pass.TypesInfo.TypeOf(a)
+		if t != nil && lc.containsLock(t) {
+			lc.pass.Reportf(a.Pos(), "call passes %s by value (copies its lock/atomic state)", t)
+		}
+	}
+}
+
+// containsLock reports whether t transitively holds a sync primitive or
+// sync/atomic value by value (through struct fields and arrays, not
+// through pointers, slices, or maps).
+func (lc *lockChecker) containsLock(t types.Type) bool {
+	if v, ok := lc.memo[t]; ok {
+		return v
+	}
+	lc.memo[t] = false // breaks cycles; recomputed below
+	v := lc.containsLockUncached(t)
+	lc.memo[t] = v
+	return v
+}
+
+func (lc *lockChecker) containsLockUncached(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+					return true
+				}
+			case "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lc.containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lc.containsLock(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilDeref is the nilness-adjacent pass (stdlib reimplementation: the
+// SSA-based x/tools nilness analyzer is not vendorable offline). It
+// catches the high-confidence intra-procedural subset: inside the taken
+// branch of `if x == nil`, x is known nil, so dereferencing it —
+// selecting a field through the pointer, *x, indexing a nil slice,
+// writing to a nil map, or calling a nil func — is a guaranteed panic.
+// Flagging stops at any reassignment of x inside the branch and does
+// not descend into func literals (they run later, possibly after x is
+// rebound).
+var NilDeref = &Analyzer{
+	Name: "nilderef",
+	Doc:  "check for dereferences of variables proven nil by the enclosing if",
+	Run:  runNilDeref,
+}
+
+func runNilDeref(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilCheckedObj(pass, ifs.Cond)
+			if obj != nil {
+				checkNilUses(pass, ifs.Body, obj)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedObj returns the object of x when cond is `x == nil` (either
+// operand order) for a nillable x, else nil.
+func nilCheckedObj(pass *Pass, cond ast.Expr) types.Object {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	x := be.X
+	if isUntypedNil(pass.TypesInfo, be.X) {
+		x = be.Y
+	} else if !isUntypedNil(pass.TypesInfo, be.Y) {
+		return nil
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Slice, *types.Map:
+		return obj
+	}
+	return nil
+}
+
+// checkNilUses walks the taken branch in source order, flagging
+// dereferences of obj until it is reassigned.
+func checkNilUses(pass *Pass, body *ast.BlockStmt, obj types.Object) {
+	killed := false
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if killed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// Flag nil-map writes on the LHS before considering kills.
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && usesObj(ix.X) {
+					if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+						pass.Reportf(ix.Pos(), "write to %s, which is nil on this path", obj.Name())
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj) {
+					killed = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && usesObj(n.X) {
+				killed = true // address taken: aliasing defeats the proof
+			}
+		case *ast.StarExpr:
+			if usesObj(n.X) {
+				pass.Reportf(n.Pos(), "dereference of %s, which is nil on this path", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if !usesObj(n.X) {
+				return true
+			}
+			if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+				return true
+			}
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(n.Pos(), "field access through %s, which is nil on this path", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if usesObj(n.X) {
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					pass.Reportf(n.Pos(), "index of %s, which is nil (length 0) on this path", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if usesObj(n.Fun) {
+				if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+					pass.Reportf(n.Pos(), "call of %s, which is nil on this path", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

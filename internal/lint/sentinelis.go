@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelIs enforces the classified-error contract: sentinel errors
+// (krylov.ErrDiverged, serve.ErrPanic, amg.ErrCanceled, ...) travel
+// wrapped, so they must be compared with errors.Is and wrapped with %w:
+//
+//   - err == sentinel / err != sentinel comparisons between two
+//     error-typed operands are flagged (nil comparisons are fine)
+//   - switch statements over an error-typed tag are flagged per case
+//   - fmt.Errorf calls formatting an error with anything but %w are
+//     flagged (a %v/%s-formatted error breaks the errors.Is chain)
+//
+// Test files are included: a test comparing with == passes today and
+// silently stops checking anything the first time a layer wraps.
+var SentinelIs = &Analyzer{
+	Name: "sentinelis",
+	Doc:  "check sentinel errors are compared with errors.Is and wrapped with %w",
+	Run:  runSentinelIs,
+}
+
+func runSentinelIs(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorExpr(info, n.X) && isErrorExpr(info, n.Y) {
+					pass.Reportf(n.Pos(), "error compared with %s: use errors.Is (sentinels travel wrapped)", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(info, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if isErrorExpr(info, e) {
+							pass.Reportf(e.Pos(), "error switched by identity: use errors.Is (sentinels travel wrapped)")
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorExpr reports whether e's static type implements error and e is
+// not a nil literal. Interface-typed operands are what == comparisons
+// against sentinels look like; concrete error types are included for
+// switch cases.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	if isUntypedNil(info, e) {
+		return false
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t != nil && types.Implements(t, errorIface) {
+			pass.Reportf(arg.Pos(), "error formatted without %%w breaks the errors.Is chain: wrap it or format err.Error()")
+			return
+		}
+	}
+}

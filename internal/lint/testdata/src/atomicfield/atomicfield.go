@@ -1,0 +1,37 @@
+// Package atomicfield exercises the atomicfield analyzer: fields of
+// //amg:atomic structs are only touched through atomic methods.
+package atomicfield
+
+import "sync/atomic"
+
+// counters is the audited set, mirroring the serve metrics struct.
+//
+//amg:atomic
+type counters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	flag   atomic.Bool
+	plain  int64 // want `not a sync/atomic type`
+}
+
+// free is unannotated: plain fields and accesses are fine.
+type free struct{ n int64 }
+
+func allowed(c *counters) int64 {
+	c.hits.Add(1)
+	c.flag.Store(true)
+	g := &c.misses // address-of: the atomic free-function form
+	g.Add(1)
+	return c.hits.Load()
+}
+
+func mixed(c *counters) {
+	v := c.hits // want `accessed non-atomically`
+	_ = v
+	c.misses = atomic.Int64{} // want `accessed non-atomically`
+	if c.hits.Load() > 0 {    // method receiver: fine
+		c.misses.Add(1)
+	}
+	f := free{n: 1}
+	f.n++ // unannotated struct: fine
+}

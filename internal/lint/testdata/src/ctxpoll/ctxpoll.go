@@ -1,0 +1,100 @@
+// Package ctxpoll exercises the ctxpoll analyzer: exported *Ctx
+// functions must reach a ctx check on their loop path.
+package ctxpoll
+
+import "context"
+
+// SolveCtx polls per iteration: the canonical form.
+func SolveCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(i)
+	}
+	return nil
+}
+
+// SelectCtx consults ctx.Done inside the loop: also fine.
+func SelectCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		work(i)
+	}
+	return nil
+}
+
+func DriftCtx(ctx context.Context, n int) error { // want `never consults its context`
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+	return nil
+}
+
+func HoistedCtx(ctx context.Context, n int) error { // want `never checks ctx inside a loop`
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+	return nil
+}
+
+// DelegateCtx has no loop and hands ctx on: fine.
+func DelegateCtx(ctx context.Context, n int) error {
+	return SolveCtx(ctx, n)
+}
+
+// PerIterDelegateCtx passes ctx to a callee every iteration: the callee
+// owns the polling, the loop path still reaches it.
+func PerIterDelegateCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := step(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ZeroLoopCtx's loop makes no calls (pure memory traffic), so the
+// hoisted check suffices.
+func ZeroLoopCtx(ctx context.Context, xs []float64) error {
+	for i := range xs {
+		xs[i] = 0
+	}
+	return ctx.Err()
+}
+
+// Solver proves methods are covered.
+type Solver struct{ n int }
+
+func (s *Solver) IterateCtx(ctx context.Context) error { // want `never consults its context`
+	for i := 0; i < s.n; i++ {
+		work(i)
+	}
+	return nil
+}
+
+// helperCtx is unexported: out of contract.
+func helperCtx(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+// NoCtx takes no context despite doing work: out of contract (the
+// analyzer keys on the *Ctx suffix plus a context parameter).
+func NoCtx(n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+func work(int) {}
+
+func step(ctx context.Context, i int) error { return ctx.Err() }

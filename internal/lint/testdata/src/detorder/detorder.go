@@ -1,0 +1,56 @@
+// Package detorder models a deterministic kernel package: the
+// directive below opts the package into the detorder analyzer.
+//
+//amg:deterministic
+package detorder
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapRange(m map[int]float64, xs []float64) float64 {
+	var s float64
+	for _, v := range m { // want `ranges over a map`
+		s += v
+	}
+	for i := range xs { // slice ranges are ordered: fine
+		s += xs[i]
+	}
+	return s
+}
+
+// waived shows the escape hatch: an integer reduction over a map is
+// order-insensitive (exact commutative arithmetic), and the waiver
+// comment documents why.
+func waived(m map[int]int64) int64 {
+	var s int64
+	//amg:order-ok exact integer sum, order cannot affect the result
+	for _, v := range m {
+		s += v
+	}
+	var n int64
+	for range m { //amg:order-ok counting only
+		n++
+	}
+	return s + n
+}
+
+func clock() int64 {
+	t := time.Now() // want `reads the wall clock`
+	return t.Unix()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+func randomness() float64 {
+	r := rand.New(rand.NewSource(42)) // fixed seed: fine
+	bad := rand.Float64()             // want `global math/rand source`
+	return r.Float64() + bad
+}
+
+func wallSeed(now int64) *rand.Rand {
+	return rand.New(rand.NewSource(now)) // want `non-constant value`
+}

@@ -1,0 +1,15 @@
+// Package detorderplain has no //amg:deterministic directive: the
+// detorder analyzer must stay silent on all of it.
+package detorderplain
+
+import "time"
+
+func mapRange(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func clock() time.Time { return time.Now() }

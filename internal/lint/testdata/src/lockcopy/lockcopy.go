@@ -1,0 +1,64 @@
+// Package lockcopy exercises the lockcopy analyzer: values holding
+// sync or sync/atomic state must not be copied.
+package lockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper holds a Guarded by value: copies of it are flagged too.
+type Wrapper struct{ g Guarded }
+
+// Count holds an atomic value: same contract.
+type Count struct{ n atomic.Int64 }
+
+func byValue(g Guarded) int { // want `parameter .* passed by value`
+	return g.n
+}
+
+func (g Guarded) valueRecv() int { // want `receiver .* passed by value`
+	return g.n
+}
+
+func (g *Guarded) pointerRecv() int { // pointers are fine
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func copies(list []Guarded, p *Guarded, w *Wrapper, c *Count) {
+	g := *p // want `assignment copies`
+	_ = g
+	wv := *w // want `assignment copies`
+	_ = wv
+	cv := *c // want `assignment copies`
+	_ = cv
+	for _, v := range list { // want `range value copies`
+		_ = v.n
+	}
+	for i := range list { // indexing is fine
+		list[i].mu.Lock()
+		list[i].mu.Unlock()
+	}
+}
+
+func ret(p *Guarded) Guarded {
+	return *p // want `return copies`
+}
+
+func fresh() *Guarded {
+	g := Guarded{n: 1} // composite literals are fresh values: fine
+	return &g
+}
+
+func sink(g Guarded) {} // want `parameter .* passed by value`
+
+func callByValue(p *Guarded) {
+	sink(*p) // want `call passes .* by value`
+}

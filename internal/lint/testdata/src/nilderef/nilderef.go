@@ -1,0 +1,62 @@
+// Package nilderef exercises the nilderef analyzer: inside the taken
+// branch of `if x == nil`, dereferencing x is a guaranteed panic.
+package nilderef
+
+type node struct {
+	next *node
+	val  int
+}
+
+func deref(p *node) int {
+	if p == nil {
+		return p.val // want `field access through p`
+	}
+	return p.val // fine: p is non-nil here
+}
+
+func star(p *node) node {
+	if nil == p {
+		return *p // want `dereference of p`
+	}
+	return *p
+}
+
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{val: 1}
+		return p.val // fine: p was rebound above
+	}
+	return 0
+}
+
+func slices(s []int) int {
+	if s == nil {
+		return s[0] // want `index of s`
+	}
+	return len(s) // len of nil is fine (and s is non-nil here anyway)
+}
+
+func maps(m map[int]int) int {
+	if m == nil {
+		v := m[1] // reads of a nil map are legal
+		m[1] = 2  // want `write to m`
+		return v
+	}
+	return m[1]
+}
+
+func funcs(f func() int) int {
+	if f == nil {
+		return f() // want `call of f`
+	}
+	return f()
+}
+
+func deferredUse(p *node) func() int {
+	if p == nil {
+		// Conservative: closures run later, possibly after rebinding;
+		// the analyzer does not look inside them.
+		return func() int { return p.val }
+	}
+	return nil
+}

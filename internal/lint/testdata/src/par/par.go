@@ -1,0 +1,19 @@
+// Package par models the repo's parallel runtime for hotalloc
+// fixtures: closures handed directly to it are the sanctioned
+// participant idiom and are exempt from the closure check.
+package par
+
+// Runtime mirrors the method-call form rt.For(n, body).
+type Runtime struct{}
+
+// For runs body over [0, n).
+func (r *Runtime) For(n int, body func(lo, hi int)) { body(0, n) }
+
+// ForWith mirrors the free-function form with setup/teardown closures.
+func ForWith(r *Runtime, n int, setup func() []float64, body func(lo, hi int, s []float64), teardown func([]float64)) {
+	s := setup()
+	body(0, n, s)
+	if teardown != nil {
+		teardown(s)
+	}
+}

@@ -1,0 +1,56 @@
+// Package sentinelis exercises the sentinelis analyzer: classified
+// errors travel wrapped, so identity comparison breaks the contract.
+package sentinelis
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBoom = errors.New("boom")
+
+type failure struct{ msg string }
+
+func (f *failure) Error() string { return f.msg }
+
+func compare(err error) bool {
+	if err == ErrBoom { // want `use errors.Is`
+		return true
+	}
+	if err != ErrBoom { // want `use errors.Is`
+		return false
+	}
+	if err == nil { // nil checks are fine
+		return false
+	}
+	return errors.Is(err, ErrBoom) // the contractual form
+}
+
+func classify(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrBoom: // want `switched by identity`
+		return 1
+	}
+	switch {
+	case errors.Is(err, ErrBoom): // fine: tagless switch over Is
+		return 2
+	}
+	return 3
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("solve failed: %v", err) // want `without %w`
+	}
+	return fmt.Errorf("iteration %d overran", 3) // no error argument: fine
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("solve failed: %w", err) // fine
+}
+
+func wrapConcrete(f *failure) error {
+	return fmt.Errorf("smoother: %s", f) // want `without %w`
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Config mirrors the JSON configuration cmd/go writes for a vet tool
+// (cmd/go/internal/work.vetConfig). go vet -vettool invokes the tool
+// once per package as `tool [flags] path/to/vet.cfg`; this struct is
+// the contract between the two processes.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunUnit executes the analyzers against the single package described
+// by the vet config at cfgPath, printing diagnostics to w in
+// file:line:col form. It returns the process exit code: 0 clean, 1 on
+// driver/typecheck errors, 2 when diagnostics were reported (matching
+// x/tools unitchecker semantics, which go vet maps to failure).
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "amglint: reading config: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "amglint: parsing config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go reads the vetx (facts) output after every run and caches
+	// it; amglint's analyzers are fact-free, so an empty file is the
+	// correct output and must exist even for VetxOnly invocations.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(w, "amglint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: facts were the only deliverable.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(w, "amglint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Imports resolve through the export data files cmd/go already
+	// built for the package's dependencies: ImportMap canonicalizes the
+	// source-level path (vendoring, test variants), PackageFile names
+	// the archive holding the dependency's export data.
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tcfg := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect via the returned error; keep checking
+	}
+	info := newTypesInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "amglint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := RunAnalyzers(fset, files, pkg, info, analyzers, w)
+	if diags > 0 {
+		return 2
+	}
+	return 0
+}
+
+// newTypesInfo allocates a types.Info with every map analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// RunAnalyzers runs each analyzer over the package and prints the
+// merged, position-sorted diagnostics to w, returning the count.
+// Shared by the vet driver and the linttest harness.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, w io.Writer) int {
+	diags := CollectDiagnostics(fset, files, pkg, info, analyzers, w)
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [amglint/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(diags)
+}
+
+// CollectDiagnostics runs the analyzers and returns their merged,
+// position-sorted diagnostics without printing them. Analyzer runtime
+// errors are reported to w.
+func CollectDiagnostics(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, w io.Writer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(w, "amglint: analyzer %s: %v\n", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// FilterAnalyzers returns the analyzers whose name is enabled in the
+// flag map (missing names default to enabled).
+func FilterAnalyzers(all []*Analyzer, enabled map[string]bool) []*Analyzer {
+	out := make([]*Analyzer, 0, len(all))
+	for _, a := range all {
+		if on, ok := enabled[a.Name]; !ok || on {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Strings below are shared diagnostic phrasing helpers.
+
+// shortPkgPath trims the module prefix from an import path for terser
+// diagnostics.
+func shortPkgPath(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -3,6 +3,8 @@
 // with its four optimizations, the Bell/Dalton/Olson baseline it is
 // compared against (the algorithm implemented by CUSP and ViennaCL),
 // Luby's MIS-1, and validity checkers.
+//
+//amg:deterministic
 package mis
 
 import (

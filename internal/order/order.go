@@ -10,6 +10,8 @@
 // eight rows' worth of x at once) stay within a narrow, cache-resident
 // window. Everything here is deterministic: ties are broken by vertex
 // id, so the ordering is a pure function of the graph.
+//
+//amg:deterministic
 package order
 
 import (

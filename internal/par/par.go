@@ -10,6 +10,8 @@
 // long-lived pool goroutines (plus the caller) that claim them from an
 // atomic counter; which goroutine runs a block never affects the result.
 // See DESIGN.md for the determinism contract.
+//
+//amg:deterministic
 package par
 
 import (

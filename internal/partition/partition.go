@@ -10,6 +10,8 @@
 // Fiduccia-Mattheyses-style boundary refinement during uncoarsening — so
 // the coarsening schemes can be compared end to end on edge cut and
 // balance, as Gilbert et al. do.
+//
+//amg:deterministic
 package partition
 
 import (
@@ -83,6 +85,7 @@ func (wg *WGraph) Coarsen(labels []int32, numAgg int) *WGraph {
 		}
 	}
 	deg := make([]int, numAgg+1)
+	//amg:order-ok degree counting is order-insensitive
 	for k := range wsum {
 		deg[k.a+1]++
 		deg[k.b+1]++
@@ -95,6 +98,7 @@ func (wg *WGraph) Coarsen(labels []int32, numAgg int) *WGraph {
 	ew := make([]int64, rowPtr[numAgg])
 	fill := make([]int, numAgg)
 	copy(fill, rowPtr[:numAgg])
+	//amg:order-ok fill order is canonicalized by sortRows below
 	for k, w := range wsum {
 		col[fill[k.a]], ew[fill[k.a]] = k.b, w
 		fill[k.a]++

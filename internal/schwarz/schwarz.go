@@ -30,6 +30,8 @@
 // block per subdomain, each writing request-local scratch, and all
 // global accumulation is serialized in subdomain order — results are
 // bitwise identical for every worker count, for a fixed partition.
+//
+//amg:deterministic
 package schwarz
 
 import (

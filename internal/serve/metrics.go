@@ -2,7 +2,11 @@ package serve
 
 import "sync/atomic"
 
-// counters is the service's internal atomic counter set.
+// counters is the service's internal atomic counter set. Every field
+// must be a sync/atomic value and every access must go through its
+// atomic methods; the atomicfield analyzer enforces this.
+//
+//amg:atomic
 type counters struct {
 	requests    atomic.Int64
 	rejected    atomic.Int64

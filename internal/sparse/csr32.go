@@ -71,6 +71,8 @@ func (c *CSR32) Dims() (rows, cols int) { return c.rows, c.cols }
 func (c *CSR32) NNZ() int { return len(c.col) }
 
 // SpMV computes y = A*x in parallel over rows.
+//
+//amg:hotpath
 func (c *CSR32) SpMV(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(c.rows) {
 		c.spmvRange(x, y, 0, c.rows)
@@ -81,6 +83,7 @@ func (c *CSR32) SpMV(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (c *CSR32) spmvRange(x, y []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -96,6 +99,8 @@ func (c *CSR32) spmvRange(x, y []float64, lo, hi int) {
 }
 
 // SpMVResidual computes r = b - A*x in one traversal. r must not alias x.
+//
+//amg:hotpath
 func (c *CSR32) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	if rt.Serial(c.rows) {
 		c.spmvResidualRange(b, x, r, 0, c.rows)
@@ -106,6 +111,7 @@ func (c *CSR32) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	})
 }
 
+//amg:hotpath
 func (c *CSR32) spmvResidualRange(b, x, r []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -121,6 +127,8 @@ func (c *CSR32) spmvResidualRange(b, x, r []float64, lo, hi int) {
 }
 
 // SpMVAdd computes y += A*x in one traversal. y must not alias x.
+//
+//amg:hotpath
 func (c *CSR32) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(c.rows) {
 		c.spmvAddRange(x, y, 0, c.rows)
@@ -131,6 +139,7 @@ func (c *CSR32) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (c *CSR32) spmvAddRange(x, y []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -149,6 +158,8 @@ func (c *CSR32) spmvAddRange(x, y []float64, lo, hi int) {
 // in one traversal — the fused damped-Jacobi sweep. The diagonal inverse
 // stays float64 (it is smoother state, not operator storage). src and
 // dst must not alias.
+//
+//amg:hotpath
 func (c *CSR32) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, src, dst []float64) {
 	if rt.Serial(c.rows) {
 		c.jacobiSweepRange(b, dinv, omega, src, dst, 0, c.rows)
@@ -159,6 +170,7 @@ func (c *CSR32) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, s
 	})
 }
 
+//amg:hotpath
 func (c *CSR32) jacobiSweepRange(b, dinv []float64, omega float64, src, dst []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -175,6 +187,8 @@ func (c *CSR32) jacobiSweepRange(b, dinv []float64, omega float64, src, dst []fl
 
 // SpMM computes the multi-RHS product Y = A*X for k interleaved
 // right-hand sides (see Matrix.SpMM for the layout).
+//
+//amg:hotpath
 func (c *CSR32) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	if k == 1 {
 		c.SpMV(rt, x, y)
@@ -189,6 +203,7 @@ func (c *CSR32) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (c *CSR32) spmmDispatch(k int, x, y []float64, lo, hi int) {
 	switch k {
 	case 4:
@@ -200,6 +215,7 @@ func (c *CSR32) spmmDispatch(k int, x, y []float64, lo, hi int) {
 	}
 }
 
+//amg:hotpath
 func (c *CSR32) spmm4Range(x, y []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -219,6 +235,7 @@ func (c *CSR32) spmm4Range(x, y []float64, lo, hi int) {
 	}
 }
 
+//amg:hotpath
 func (c *CSR32) spmm8Range(x, y []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -243,6 +260,7 @@ func (c *CSR32) spmm8Range(x, y []float64, lo, hi int) {
 	}
 }
 
+//amg:hotpath
 func (c *CSR32) spmmRange(k int, x, y []float64, lo, hi int) {
 	rp := c.rowPtr
 	for i := lo; i < hi; i++ {
@@ -262,6 +280,8 @@ func (c *CSR32) spmmRange(k int, x, y []float64, lo, hi int) {
 
 // DiagonalInto fills d with the diagonal entries (zero where absent),
 // widened to float64.
+//
+//amg:hotpath
 func (c *CSR32) DiagonalInto(rt *par.Runtime, d []float64) {
 	if rt.Serial(c.rows) {
 		c.diagonalRange(d, 0, c.rows)
@@ -272,6 +292,7 @@ func (c *CSR32) DiagonalInto(rt *par.Runtime, d []float64) {
 	})
 }
 
+//amg:hotpath
 func (c *CSR32) diagonalRange(d []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		d[i] = 0

@@ -248,6 +248,8 @@ func (pl *ProductPlan) Numeric(rt *par.Runtime, a, b, c *Matrix) error {
 // e.g. an AMG hierarchy that fingerprint-checks its fine matrix once per
 // refresh and owns every other operand. Shapes and pattern sizes are
 // still checked.
+//
+//amg:hotpath
 func (pl *ProductPlan) Replay(rt *par.Runtime, a, b, c *Matrix) error {
 	if err := pl.checkShapes(a, b, c); err != nil {
 		return err
@@ -274,6 +276,8 @@ func (pl *ProductPlan) checkShapes(a, b, c *Matrix) error {
 // gather schedule the replay is a branch-free multiply-add stream over
 // the cached (aIdx, bIdx) pairs; otherwise it falls back to the mark/acc
 // accumulation. Both paths are bitwise identical to Multiply.
+//
+//amg:hotpath
 func (pl *ProductPlan) numeric(rt *par.Runtime, a, b, c *Matrix) {
 	if pl.entryPtr != nil {
 		if rt.Serial(pl.aRows) {
@@ -323,6 +327,8 @@ func (pl *ProductPlan) numeric(rt *par.Runtime, a, b, c *Matrix) {
 // first pair initializes the accumulator (not 0 + x, preserving the
 // fused kernel's first-touch semantics bit for bit, signed zeros
 // included); every entry has at least one pair by construction.
+//
+//amg:hotpath
 func (pl *ProductPlan) scheduleRange(a, b, c *Matrix, lo, hi int) {
 	ep := pl.entryPtr
 	ai, bi := pl.aIdx, pl.bIdx
@@ -341,6 +347,8 @@ func (pl *ProductPlan) scheduleRange(a, b, c *Matrix, lo, hi int) {
 // accumulation as Multiply's numeric pass, then a gather through the
 // pre-sorted cached pattern (which visits entries in exactly the order
 // Multiply writes them after sortRow — hence bitwise-identical values).
+//
+//amg:hotpath
 func productNumericRange(a, b, c *Matrix, mark []int32, acc []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
@@ -408,6 +416,8 @@ func (pl *TransposePlan) Numeric(rt *par.Runtime, a, t *Matrix) error {
 
 // Replay is Numeric without the fingerprint verification (see
 // ProductPlan.Replay for the contract).
+//
+//amg:hotpath
 func (pl *TransposePlan) Replay(rt *par.Runtime, a, t *Matrix) error {
 	if err := pl.checkShapes(a, t); err != nil {
 		return err
@@ -426,6 +436,7 @@ func (pl *TransposePlan) checkShapes(a, t *Matrix) error {
 	return nil
 }
 
+//amg:hotpath
 func (pl *TransposePlan) replay(rt *par.Runtime, a, t *Matrix) {
 	nnz := len(pl.perm)
 	if rt.Serial(nnz) {
@@ -437,6 +448,7 @@ func (pl *TransposePlan) replay(rt *par.Runtime, a, t *Matrix) {
 	})
 }
 
+//amg:hotpath
 func (pl *TransposePlan) scatterRange(a, t *Matrix, lo, hi int) {
 	for p := lo; p < hi; p++ {
 		t.Val[pl.perm[p]] = a.Val[p]
@@ -555,6 +567,8 @@ func (pl *SmoothPlan) Numeric(rt *par.Runtime, a, p0 *Matrix, dinv []float64, om
 
 // Replay is Numeric without the fingerprint verification (see
 // ProductPlan.Replay for the contract).
+//
+//amg:hotpath
 func (pl *SmoothPlan) Replay(rt *par.Runtime, a, p0 *Matrix, dinv []float64, omega float64, out *Matrix) error {
 	if err := pl.checkShapes(a, p0, dinv, out); err != nil {
 		return err
@@ -577,6 +591,7 @@ func (pl *SmoothPlan) checkShapes(a, p0 *Matrix, dinv []float64, out *Matrix) er
 	return nil
 }
 
+//amg:hotpath
 func (pl *SmoothPlan) replay(rt *par.Runtime, a, p0 *Matrix, dinv []float64, omega float64, out *Matrix) {
 	if rt.Serial(pl.aRows) {
 		ar := par.AcquireArena()
@@ -616,6 +631,8 @@ func (pl *SmoothPlan) replay(rt *par.Runtime, a, p0 *Matrix, dinv []float64, ome
 // pattern is walked against the P0 row — marked entries came from the
 // product, matching P0 columns contribute the identity term — writing
 // the same expressions in the same order as the one-shot merge.
+//
+//amg:hotpath
 func smoothNumericRange(a, p0 *Matrix, dinv []float64, omega float64, out *Matrix, mark []int32, acc []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		di := dinv[i]
@@ -695,6 +712,8 @@ func (pl *RAPPlan) Numeric(rt *par.Runtime, r, a, p, out *Matrix) error {
 // Replay is Numeric without the fingerprint verification (see
 // ProductPlan.Replay for the contract). The intermediate A*P is
 // plan-owned, so only the caller-supplied operands' shapes are checked.
+//
+//amg:hotpath
 func (pl *RAPPlan) Replay(rt *par.Runtime, r, a, p, out *Matrix) error {
 	if err := pl.apPlan.Replay(rt, a, p, pl.ap); err != nil {
 		return err

@@ -191,6 +191,8 @@ func (s *SELL) nchunks() int { return len(s.width) }
 // The full-lane prefix of positions runs an unrolled two-position step
 // with eight independent dependency chains; trailing positions walk the
 // per-position lane counts, which descend within the chunk.
+//
+//amg:hotpath
 func (s *SELL) chunkAccum(x []float64, c int) (a0, a1, a2, a3, a4, a5, a6, a7 float64) {
 	col, val := s.col, s.val
 	p := int(s.chunkPtr[c])
@@ -275,12 +277,16 @@ func (s *SELL) chunkAccum(x []float64, c int) (a0, a1, a2, a3, a4, a5, a6, a7 fl
 // before it splits across workers. Each kernel keeps its own serial
 // fast path so single-worker calls build no closure and allocate
 // nothing.
+//
+//amg:hotpath
 func chunkRange(lo, hi int) (c0, c1 int) {
 	return (lo + SellC - 1) / SellC, (hi + SellC - 1) / SellC
 }
 
 // SpMV computes y = A*x, parallel over chunks. Bit-identical to the CSR
 // SpMV of the source matrix for every worker count.
+//
+//amg:hotpath
 func (s *SELL) SpMV(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(s.rows) {
 		s.spmvChunks(x, y, 0, s.nchunks())
@@ -292,6 +298,7 @@ func (s *SELL) SpMV(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL) spmvChunks(x, y []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
@@ -316,6 +323,8 @@ func (s *SELL) spmvChunks(x, y []float64, c0, c1 int) {
 }
 
 // SpMVResidual computes r = b - A*x in one traversal. r must not alias x.
+//
+//amg:hotpath
 func (s *SELL) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	if rt.Serial(s.rows) {
 		c0, c1 := 0, s.nchunks()
@@ -328,6 +337,7 @@ func (s *SELL) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL) spmvResidualChunks(b, x, r []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
@@ -352,6 +362,8 @@ func (s *SELL) spmvResidualChunks(b, x, r []float64, c0, c1 int) {
 }
 
 // SpMVAdd computes y += A*x in one traversal. y must not alias x.
+//
+//amg:hotpath
 func (s *SELL) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(s.rows) {
 		c0, c1 := 0, s.nchunks()
@@ -364,6 +376,7 @@ func (s *SELL) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL) spmvAddChunks(x, y []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
@@ -390,6 +403,8 @@ func (s *SELL) spmvAddChunks(x, y []float64, c0, c1 int) {
 // JacobiSweep computes dst[i] = src[i] + omega*dinv[i]*(b[i] - (A src)[i])
 // in one traversal — the fused damped-Jacobi sweep, bit-identical to
 // Matrix.JacobiSweep. src and dst must not alias.
+//
+//amg:hotpath
 func (s *SELL) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, src, dst []float64) {
 	if rt.Serial(s.rows) {
 		c0, c1 := 0, s.nchunks()
@@ -402,6 +417,7 @@ func (s *SELL) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, sr
 	})
 }
 
+//amg:hotpath
 func (s *SELL) jacobiChunks(b, dinv []float64, omega float64, src, dst []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(src, c)
@@ -428,6 +444,8 @@ func (s *SELL) jacobiChunks(b, dinv []float64, omega float64, src, dst []float64
 // SpMM computes the multi-RHS product Y = A*X for k interleaved
 // right-hand sides (the layout of Matrix.SpMM). Each output row block is
 // accumulated in stored-entry order, matching the CSR kernels bitwise.
+//
+//amg:hotpath
 func (s *SELL) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	if k == 1 {
 		s.SpMV(rt, x, y)
@@ -443,6 +461,7 @@ func (s *SELL) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL) spmmChunks(k int, x, y []float64, c0, c1 int) {
 	col, val, cnt := s.col, s.val, s.cnt
 	for c := c0; c < c1; c++ {
@@ -475,6 +494,8 @@ func (s *SELL) spmmChunks(k int, x, y []float64, c0, c1 int) {
 
 // DiagonalInto fills d with the diagonal entries (zero where absent),
 // parallel over chunks.
+//
+//amg:hotpath
 func (s *SELL) DiagonalInto(rt *par.Runtime, d []float64) {
 	if rt.Serial(s.rows) {
 		c0, c1 := 0, s.nchunks()
@@ -487,6 +508,7 @@ func (s *SELL) DiagonalInto(rt *par.Runtime, d []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL) diagonalChunks(d []float64, c0, c1 int) {
 	col, val, cnt := s.col, s.val, s.cnt
 	for c := c0; c < c1; c++ {

@@ -94,6 +94,8 @@ func (s *SELL32) nchunks() int { return len(s.width) }
 // chunkAccum mirrors SELL.chunkAccum with float32 loads: accumulator l
 // holds lane l's dot product with x, accumulated strictly left to right
 // in float64 (each stored value widened before its multiply).
+//
+//amg:hotpath
 func (s *SELL32) chunkAccum(x []float64, c int) (a0, a1, a2, a3, a4, a5, a6, a7 float64) {
 	col, val := s.col, s.val
 	p := int(s.chunkPtr[c])
@@ -170,6 +172,8 @@ func (s *SELL32) chunkAccum(x []float64, c int) (a0, a1, a2, a3, a4, a5, a6, a7 
 
 // SpMV computes y = A*x, parallel over chunks. Bit-identical to the
 // CSR32 SpMV of the source matrix for every worker count.
+//
+//amg:hotpath
 func (s *SELL32) SpMV(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(s.rows) {
 		s.spmvChunks(x, y, 0, s.nchunks())
@@ -181,6 +185,7 @@ func (s *SELL32) SpMV(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL32) spmvChunks(x, y []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
@@ -205,6 +210,8 @@ func (s *SELL32) spmvChunks(x, y []float64, c0, c1 int) {
 }
 
 // SpMVResidual computes r = b - A*x in one traversal. r must not alias x.
+//
+//amg:hotpath
 func (s *SELL32) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	if rt.Serial(s.rows) {
 		s.spmvResidualChunks(b, x, r, 0, s.nchunks())
@@ -216,6 +223,7 @@ func (s *SELL32) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL32) spmvResidualChunks(b, x, r []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
@@ -240,6 +248,8 @@ func (s *SELL32) spmvResidualChunks(b, x, r []float64, c0, c1 int) {
 }
 
 // SpMVAdd computes y += A*x in one traversal. y must not alias x.
+//
+//amg:hotpath
 func (s *SELL32) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(s.rows) {
 		s.spmvAddChunks(x, y, 0, s.nchunks())
@@ -251,6 +261,7 @@ func (s *SELL32) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL32) spmvAddChunks(x, y []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(x, c)
@@ -278,6 +289,8 @@ func (s *SELL32) spmvAddChunks(x, y []float64, c0, c1 int) {
 // in one traversal — the fused damped-Jacobi sweep, bit-identical to
 // CSR32.JacobiSweep. The diagonal inverse stays float64. src and dst
 // must not alias.
+//
+//amg:hotpath
 func (s *SELL32) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, src, dst []float64) {
 	if rt.Serial(s.rows) {
 		s.jacobiChunks(b, dinv, omega, src, dst, 0, s.nchunks())
@@ -289,6 +302,7 @@ func (s *SELL32) JacobiSweep(rt *par.Runtime, b, dinv []float64, omega float64, 
 	})
 }
 
+//amg:hotpath
 func (s *SELL32) jacobiChunks(b, dinv []float64, omega float64, src, dst []float64, c0, c1 int) {
 	for c := c0; c < c1; c++ {
 		a0, a1, a2, a3, a4, a5, a6, a7 := s.chunkAccum(src, c)
@@ -314,6 +328,8 @@ func (s *SELL32) jacobiChunks(b, dinv []float64, omega float64, src, dst []float
 
 // SpMM computes the multi-RHS product Y = A*X for k interleaved
 // right-hand sides (the layout of Matrix.SpMM).
+//
+//amg:hotpath
 func (s *SELL32) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	if k == 1 {
 		s.SpMV(rt, x, y)
@@ -329,6 +345,7 @@ func (s *SELL32) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL32) spmmChunks(k int, x, y []float64, c0, c1 int) {
 	col, val, cnt := s.col, s.val, s.cnt
 	for c := c0; c < c1; c++ {
@@ -361,6 +378,8 @@ func (s *SELL32) spmmChunks(k int, x, y []float64, c0, c1 int) {
 
 // DiagonalInto fills d with the diagonal entries (zero where absent),
 // widened to float64, parallel over chunks.
+//
+//amg:hotpath
 func (s *SELL32) DiagonalInto(rt *par.Runtime, d []float64) {
 	if rt.Serial(s.rows) {
 		s.diagonalChunks(d, 0, s.nchunks())
@@ -372,6 +391,7 @@ func (s *SELL32) DiagonalInto(rt *par.Runtime, d []float64) {
 	})
 }
 
+//amg:hotpath
 func (s *SELL32) diagonalChunks(d []float64, c0, c1 int) {
 	col, val, cnt := s.col, s.val, s.cnt
 	for c := c0; c < c1; c++ {

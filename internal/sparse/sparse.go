@@ -2,6 +2,8 @@
 // sparse matrix-vector products, sparse matrix-matrix products (SpGEMM,
 // Gustavson's algorithm), transposition, and the Galerkin triple product
 // R*A*P needed by smoothed-aggregation algebraic multigrid.
+//
+//amg:deterministic
 package sparse
 
 import (
@@ -73,6 +75,8 @@ func (a *Matrix) Validate() error {
 }
 
 // SpMV computes y = A*x in parallel over rows.
+//
+//amg:hotpath
 func (a *Matrix) SpMV(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(a.Rows) {
 		a.spmvRange(x, y, 0, a.Rows)
@@ -92,6 +96,8 @@ func (a *Matrix) SpMV(rt *par.Runtime, x, y []float64) {
 // still give the out-of-order core plenty of ILP. The per-row order is a
 // function of the row alone, keeping results identical for every worker
 // count.
+//
+//amg:hotpath
 func (a *Matrix) spmvRange(x, y []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
@@ -110,6 +116,8 @@ func (a *Matrix) spmvRange(x, y []float64, lo, hi int) {
 // elementwise subtraction into the product pass (the V-cycle's residual
 // step without the second full-vector sweep). r must not alias x. The
 // serial fast path bypasses the closure API so the call is allocation-free.
+//
+//amg:hotpath
 func (a *Matrix) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	if rt.Serial(a.Rows) {
 		a.spmvResidualRange(b, x, r, 0, a.Rows)
@@ -120,6 +128,7 @@ func (a *Matrix) SpMVResidual(rt *par.Runtime, b, x, r []float64) {
 	})
 }
 
+//amg:hotpath
 func (a *Matrix) spmvResidualRange(b, x, r []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
@@ -137,6 +146,8 @@ func (a *Matrix) spmvResidualRange(b, x, r []float64, lo, hi int) {
 // SpMVAdd computes y += A*x in one traversal of A, fusing the correction
 // add into the product pass (the V-cycle's prolongate-and-correct step
 // without a scratch vector or second sweep). y must not alias x.
+//
+//amg:hotpath
 func (a *Matrix) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	if rt.Serial(a.Rows) {
 		a.spmvAddRange(x, y, 0, a.Rows)
@@ -147,6 +158,7 @@ func (a *Matrix) SpMVAdd(rt *par.Runtime, x, y []float64) {
 	})
 }
 
+//amg:hotpath
 func (a *Matrix) spmvAddRange(x, y []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
@@ -169,6 +181,8 @@ func (a *Matrix) spmvAddRange(x, y []float64, lo, hi int) {
 // register-accumulator kernels handle the 4- and 8-wide blocks the
 // batched solvers use; other widths accumulate directly into Y's row
 // block. Deterministic: per-row summation order is fixed.
+//
+//amg:hotpath
 func (a *Matrix) SpMM(rt *par.Runtime, k int, x, y []float64) {
 	if k == 1 {
 		a.SpMV(rt, x, y)
@@ -184,6 +198,8 @@ func (a *Matrix) SpMM(rt *par.Runtime, k int, x, y []float64) {
 }
 
 // spmmDispatch selects the width-specialized kernel for rows [lo, hi).
+//
+//amg:hotpath
 func (a *Matrix) spmmDispatch(k int, x, y []float64, lo, hi int) {
 	switch k {
 	case 4:
@@ -197,6 +213,8 @@ func (a *Matrix) spmmDispatch(k int, x, y []float64, lo, hi int) {
 
 // spmm4Range is the 4-wide SpMM kernel: four independent accumulators
 // per row, one contiguous 4-block gather from X per stored entry.
+//
+//amg:hotpath
 func (a *Matrix) spmm4Range(x, y []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
@@ -217,6 +235,8 @@ func (a *Matrix) spmm4Range(x, y []float64, lo, hi int) {
 }
 
 // spmm8Range is the 8-wide SpMM kernel.
+//
+//amg:hotpath
 func (a *Matrix) spmm8Range(x, y []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
@@ -243,6 +263,8 @@ func (a *Matrix) spmm8Range(x, y []float64, lo, hi int) {
 
 // spmmRange is the generic-width SpMM kernel; it accumulates directly
 // into Y's row block (owned by this row), so no scratch is needed.
+//
+//amg:hotpath
 func (a *Matrix) spmmRange(k int, x, y []float64, lo, hi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
@@ -270,6 +292,8 @@ func (a *Matrix) Diagonal() []float64 {
 // DiagonalInto fills d with the diagonal entries of A (zero where
 // absent) in parallel over rows. The serial fast path bypasses the
 // closure API so re-setup loops stay allocation-free.
+//
+//amg:hotpath
 func (a *Matrix) DiagonalInto(rt *par.Runtime, d []float64) {
 	if rt.Serial(a.Rows) {
 		a.diagonalRange(d, 0, a.Rows)
@@ -280,6 +304,7 @@ func (a *Matrix) DiagonalInto(rt *par.Runtime, d []float64) {
 	})
 }
 
+//amg:hotpath
 func (a *Matrix) diagonalRange(d []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		d[i] = 0
@@ -378,6 +403,8 @@ func (a *Matrix) graphFromEdges(n int) *graph.CSR {
 // mergeRow merges two sorted duplicate-free column lists, dropping the
 // diagonal entry diag, and either counts the union (dst == nil) or
 // writes it into dst. Returns the union size.
+//
+//amg:hotpath
 func mergeRow(x, y []int32, diag int32, dst []int32) int {
 	k, px, py := 0, 0, 0
 	for px < len(x) || py < len(y) {
@@ -519,6 +546,8 @@ func (a *Matrix) transposeBlocked(rt *par.Runtime, ncols int, withVals bool, per
 const insertionSortThreshold = 32
 
 // sortRow sorts a short column slice in place.
+//
+//amg:hotpath
 func sortRow(cols []int32) {
 	if len(cols) <= insertionSortThreshold {
 		for i := 1; i < len(cols); i++ {
